@@ -1,0 +1,94 @@
+// Microbenchmarks for the annealing backends: sweep throughput of the
+// classical SA kernel, the SQA path-integral kernel, and a full device
+// call, on physical problems of the paper's scale (~1100 qubits for the
+// 537 x 2 class).
+
+#include <benchmark/benchmark.h>
+
+#include "anneal/dwave_simulator.h"
+#include "anneal/simulated_annealer.h"
+#include "anneal/sqa.h"
+#include "embedding/embedded_qubo.h"
+#include "harness/paper_workload.h"
+#include "mapping/logical_mapping.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qmqo;
+
+/// The physical QUBO of a paper-class instance.
+qubo::QuboProblem MakePhysical(int plans_per_query, int num_queries) {
+  Rng chip_rng(1);
+  chimera::ChimeraGraph graph =
+      chimera::ChimeraGraph::DWave2XWithDefects(&chip_rng);
+  harness::PaperWorkloadOptions options;
+  options.plans_per_query = plans_per_query;
+  options.num_queries = num_queries;
+  Rng rng(7);
+  auto instance = harness::GeneratePaperInstance(graph, options, &rng);
+  if (!instance.ok()) std::abort();
+  auto mapping = mapping::LogicalMapping::Create(instance->problem);
+  auto embedded = embedding::EmbeddedQubo::Create(mapping->qubo(),
+                                                  instance->embedding, graph);
+  if (!embedded.ok()) std::abort();
+  return embedded->physical();
+}
+
+void BM_SaRead(benchmark::State& state) {
+  qubo::QuboProblem physical = MakePhysical(2, 512);
+  anneal::SaOptions options;
+  options.num_reads = 1;
+  options.sweeps_per_read = static_cast<int>(state.range(0));
+  anneal::SimulatedAnnealer annealer(options);
+  int read = 0;
+  for (auto _ : state) {
+    anneal::SaOptions per_read = options;
+    per_read.seed = static_cast<uint64_t>(++read);
+    anneal::SampleSet samples =
+        anneal::SimulatedAnnealer(per_read).Sample(physical);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          physical.num_vars());
+  state.SetLabel("spin-updates/s in items");
+}
+BENCHMARK(BM_SaRead)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SqaRead(benchmark::State& state) {
+  qubo::QuboProblem physical = MakePhysical(2, 128);
+  anneal::SqaOptions options;
+  options.num_reads = 1;
+  options.num_slices = static_cast<int>(state.range(0));
+  options.sweeps = 64;
+  int read = 0;
+  for (auto _ : state) {
+    anneal::SqaOptions per_read = options;
+    per_read.seed = static_cast<uint64_t>(++read);
+    anneal::SampleSet samples =
+        anneal::SimulatedQuantumAnnealer(per_read).Sample(physical);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetLabel("slices=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SqaRead)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DeviceCall100Reads(benchmark::State& state) {
+  qubo::QuboProblem physical = MakePhysical(2, 512);
+  anneal::DWaveOptions options;
+  options.num_reads = 100;
+  options.num_gauges = 1;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    options.seed = ++seed;
+    anneal::DWaveSimulator device(options);
+    auto result = device.Sample(physical);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("wall time per 100-read batch; modeled device time 37.6ms");
+}
+BENCHMARK(BM_DeviceCall100Reads)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#ifndef QMQO_BENCH_BENCH_COMMON_H_
+#define QMQO_BENCH_BENCH_COMMON_H_
+
+/// \file bench_common.h
+/// Shared configuration for the reproduction benches.
+///
+/// By default every bench runs a scaled-down configuration (fewer
+/// instances, shorter classical time budgets) so the whole suite finishes
+/// in minutes. Setting QMQO_BENCH_FULL=1 switches to the paper-scale
+/// setup (20 instances per class, the full milestone grid).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "embedding/capacity.h"
+#include "harness/experiment.h"
+
+namespace qmqo {
+namespace bench {
+
+/// True when QMQO_BENCH_FULL=1 is set.
+inline bool FullScale() {
+  const char* env = std::getenv("QMQO_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// The paper's four experiment classes: (plans/query, queries). Query
+/// counts follow the paper; the workload generator clamps the 2-plan class
+/// to the simulated chip's measured matching capacity (within ~1% of 537;
+/// our defect map necessarily differs from the paper's machine).
+struct PaperClass {
+  int plans_per_query;
+  int num_queries;
+};
+
+inline constexpr PaperClass kPaperClasses[] = {
+    {2, 537}, {3, 253}, {4, 140}, {5, 108}};
+
+/// Experiment configuration for one paper class, scaled by FullScale().
+inline harness::ExperimentConfig MakeClassConfig(const PaperClass& cls,
+                                                 uint64_t seed) {
+  harness::ExperimentConfig config;
+  config.workload.plans_per_query = cls.plans_per_query;
+  config.workload.num_queries = cls.num_queries;
+  // The paper's saving constant is unspecified; 2.0 is the calibration
+  // where the quantum-advantage shape of Figures 4-6 holds while instances
+  // stay tractable for the exact baselines (see EXPERIMENTS.md).
+  config.workload.saving_scale = 2.0;
+  config.num_instances = FullScale() ? 20 : 3;
+  // Paper: 1e5 ms per algorithm. Full scale uses 10 s (the curves are flat
+  // beyond that for these solvers); default 0.4 s keeps the suite fast.
+  config.classical_time_limit_ms = FullScale() ? 10000.0 : 400.0;
+  config.quantum.device.num_reads = FullScale() ? 1000 : 300;
+  config.quantum.device.num_gauges = 10;
+  config.seed = seed;
+  return config;
+}
+
+/// Clamps a requested 2-plan query count to the chip's capacity.
+inline int ClampQueries(const chimera::ChimeraGraph& graph,
+                        const PaperClass& cls) {
+  int capacity =
+      embedding::MeasuredMaxQueries(graph, cls.plans_per_query);
+  return capacity < cls.num_queries ? capacity : cls.num_queries;
+}
+
+}  // namespace bench
+}  // namespace qmqo
+
+#endif  // QMQO_BENCH_BENCH_COMMON_H_

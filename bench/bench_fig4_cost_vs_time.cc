@@ -1,0 +1,12 @@
+// Figure 4 of the paper: solution cost as a function of optimization time
+// for the hardest class — 537 queries with 2 plans per query — comparing
+// the (simulated) quantum annealer against LIN-MQO, LIN-QUB, CLIMB,
+// GA(50) and GA(200). Also reports the paper's in-text statistics for
+// this class.
+
+#include "bench_figure_common.h"
+
+int main() {
+  using namespace qmqo::bench;
+  return RunCostVsTimeFigure("Figure 4", kPaperClasses[0], /*seed=*/41);
+}

@@ -1,0 +1,11 @@
+// Figure 5 of the paper: solution cost as a function of optimization time
+// for the class with the most plans per query — 108 queries with 5 plans
+// each — where the quantum advantage shrinks (more qubits per variable,
+// larger invalid-state blowup in the QUBO reformulation).
+
+#include "bench_figure_common.h"
+
+int main() {
+  using namespace qmqo::bench;
+  return RunCostVsTimeFigure("Figure 5", kPaperClasses[3], /*seed=*/51);
+}

@@ -1,0 +1,76 @@
+// Capacity planner: how large an MQO workload fits on a given annealer
+// generation? Reproduces the reasoning behind the paper's Figure 7 as a
+// small CLI tool.
+//
+// Usage:   ./build/examples/capacity_planner [num_queries plans_per_query]
+//
+// Without arguments, prints the capacity table for three hardware
+// generations. With a workload size, reports which generation (if any)
+// can host it and how many qubits it would use.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "embedding/capacity.h"
+#include "embedding/clique_in_cell.h"
+#include "embedding/triad.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct Generation {
+  const char* name;
+  int rows;
+  int cols;
+};
+
+constexpr Generation kGenerations[] = {
+    {"D-Wave 2X (1152 qubits)", 12, 12},
+    {"next gen (2304 qubits)", 12, 24},
+    {"next-next gen (4608 qubits)", 24, 24},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qmqo;
+
+  if (argc == 3) {
+    int num_queries = std::atoi(argv[1]);
+    int plans = std::atoi(argv[2]);
+    if (num_queries <= 0 || plans <= 0) {
+      std::printf("usage: capacity_planner [num_queries plans_per_query]\n");
+      return 1;
+    }
+    int per_query_qubits =
+        plans <= 5 ? embedding::CliqueInCellEmbedder::QubitsNeeded(plans)
+                   : embedding::TriadEmbedder::QubitsNeeded(plans, 4);
+    std::printf("workload: %d queries x %d plans (%d logical variables, "
+                "~%d qubits per query)\n\n",
+                num_queries, plans, num_queries * plans, per_query_qubits);
+    for (const Generation& gen : kGenerations) {
+      int capacity =
+          embedding::MaxQueriesForDimensions(gen.rows, gen.cols, 4, plans);
+      std::printf("  %-28s capacity %5d queries -> %s\n", gen.name, capacity,
+                  capacity >= num_queries ? "FITS" : "does not fit");
+    }
+    return 0;
+  }
+
+  std::printf("=== MQO capacity by annealer generation (Figure 7) ===\n\n");
+  TablePrinter table({"plans/query", kGenerations[0].name,
+                      kGenerations[1].name, kGenerations[2].name});
+  for (int plans = 2; plans <= 16; ++plans) {
+    std::vector<std::string> row = {StrFormat("%d", plans)};
+    for (const Generation& gen : kGenerations) {
+      row.push_back(StrFormat("%d", embedding::MaxQueriesForDimensions(
+                                        gen.rows, gen.cols, 4, plans)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("run with arguments to check a specific workload:\n"
+              "  capacity_planner 500 3\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Scenario: a nightly reporting batch. Dozens of dashboard queries hit the
+// same star schema; consecutive reports extend each other's scans and
+// several teams' reports share join subplans. The optimizer must pick one
+// plan per report so the batch finishes fastest.
+//
+// This example builds such a workload (chained sharing between consecutive
+// reports plus clustered sharing within team dashboards), then compares
+// every optimizer in the library on equal footing: greedy, iterated hill
+// climbing, genetic algorithms, exact branch-and-bound, and the simulated
+// quantum annealer.
+//
+// Build & run:   ./build/examples/reporting_batch
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/genetic.h"
+#include "baselines/greedy.h"
+#include "baselines/hill_climbing.h"
+#include "embedding/clustered.h"
+#include "harness/paper_workload.h"
+#include "harness/quantum_pipeline.h"
+#include "mqo/clustering.h"
+#include "mqo/generator.h"
+#include "solver/mqo_bnb.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace qmqo;
+
+  // --- The batch: 40 reports, grouped into 8 team dashboards of 5. ---
+  Rng rng(2026);
+  mqo::ClusteredWorkloadOptions workload;
+  workload.num_clusters = 8;       // team dashboards
+  workload.queries_per_cluster = 5;  // reports per dashboard
+  workload.plans_per_query = 3;    // join orders per report
+  workload.cost_min = 20.0;        // seconds of scan/join work
+  workload.cost_max = 90.0;
+  workload.intra_cluster_probability = 0.5;   // shared subplans in a team
+  workload.inter_cluster_probability = 0.004;  // rare cross-team reuse
+  workload.saving_min = 5.0;
+  workload.saving_max = 25.0;
+  mqo::MqoProblem batch = mqo::GenerateClusteredWorkload(workload, &rng);
+  std::printf("reporting batch: %s\n", batch.Summary().c_str());
+  std::printf("no-sharing baseline (cheapest plan per report): ");
+  double naive = 0.0;
+  for (mqo::QueryId q = 0; q < batch.num_queries(); ++q) {
+    double best = batch.plan_cost(batch.first_plan(q));
+    for (int k = 1; k < batch.num_plans_of(q); ++k) {
+      best = std::min(best, batch.plan_cost(batch.first_plan(q) + k));
+    }
+    naive += best;
+  }
+  std::printf("%.0f s of work, ignoring all sharing\n\n", naive);
+
+  TablePrinter table({"optimizer", "batch cost", "vs naive", "wall ms"});
+  auto report = [&](const std::string& name, double cost, double ms) {
+    table.AddRow({name, StrFormat("%.0f", cost),
+                  StrFormat("%+.1f%%", 100.0 * (cost - naive) / naive),
+                  StrFormat("%.1f", ms)});
+  };
+
+  // --- Greedy. ---
+  {
+    Stopwatch watch;
+    mqo::MqoSolution solution = baselines::GreedySolver::Construct(batch);
+    report("GREEDY", mqo::EvaluateCost(batch, solution),
+           watch.ElapsedMillis());
+  }
+  // --- Iterated hill climbing. ---
+  {
+    baselines::OptimizerBudget budget;
+    budget.time_limit_ms = 200.0;
+    Rng opt_rng(1);
+    Stopwatch watch;
+    auto solution = baselines::IteratedHillClimbing().Optimize(
+        batch, budget, &opt_rng, nullptr);
+    report("CLIMB (200ms)", mqo::EvaluateCost(batch, *solution),
+           watch.ElapsedMillis());
+  }
+  // --- Genetic algorithms. ---
+  for (int population : {50, 200}) {
+    baselines::GeneticOptions options;
+    options.population_size = population;
+    baselines::OptimizerBudget budget;
+    budget.time_limit_ms = 200.0;
+    Rng opt_rng(static_cast<uint64_t>(population));
+    Stopwatch watch;
+    auto solution = baselines::GeneticAlgorithm(options).Optimize(
+        batch, budget, &opt_rng, nullptr);
+    report(StrFormat("GA(%d) (200ms)", population),
+           mqo::EvaluateCost(batch, *solution), watch.ElapsedMillis());
+  }
+  // --- Exact branch and bound. ---
+  {
+    solver::MqoBnbOptions options;
+    options.time_limit_ms = 2000.0;
+    Stopwatch watch;
+    auto result = solver::MqoBranchAndBound(options).Solve(batch);
+    report(result->proven_optimal ? "LIN-MQO (exact)" : "LIN-MQO (capped 2s)",
+           result->cost, watch.ElapsedMillis());
+  }
+  // --- Simulated quantum annealer. ---
+  {
+    chimera::ChimeraGraph chip = chimera::ChimeraGraph::DWave2X();
+    // One clique region per dashboard cluster (15 variables each). The
+    // clustered embedding cannot realize cross-team savings without a
+    // coupler — the paper's Section 5 trade-off — so the annealer solves
+    // the instance with those few savings dropped, and the solution is
+    // re-costed on the full batch.
+    mqo::MqoProblem embeddable;
+    for (mqo::QueryId q = 0; q < batch.num_queries(); ++q) {
+      std::vector<double> costs;
+      for (int k = 0; k < batch.num_plans_of(q); ++k) {
+        costs.push_back(batch.plan_cost(batch.first_plan(q) + k));
+      }
+      embeddable.AddQuery(std::move(costs));
+    }
+    auto team_of = [&](mqo::QueryId q) {
+      return q / workload.queries_per_cluster;
+    };
+    int dropped = 0;
+    for (const mqo::Saving& saving : batch.savings()) {
+      if (team_of(batch.query_of(saving.plan_a)) ==
+          team_of(batch.query_of(saving.plan_b))) {
+        (void)embeddable.AddSaving(saving.plan_a, saving.plan_b, saving.value);
+      } else {
+        ++dropped;
+      }
+    }
+    std::vector<int> sizes(
+        static_cast<size_t>(workload.num_clusters),
+        workload.queries_per_cluster * workload.plans_per_query);
+    auto embedding = embedding::ClusteredEmbedder::Embed(sizes, chip);
+    if (embedding.ok()) {
+      harness::QuantumMqoOptions options;
+      options.device.num_reads = 500;
+      Stopwatch watch;
+      auto result =
+          harness::SolveQuantumMqo(embeddable, *embedding, chip, options);
+      if (result.ok()) {
+        report(StrFormat("QA (500 reads, %d savings dropped)", dropped),
+               mqo::EvaluateCost(batch, result->best_solution),
+               watch.ElapsedMillis());
+        std::printf("QA modeled device time: %.0f us; embedding: %s\n",
+                    result->device_time_us,
+                    embedding->Summary().c_str());
+      } else {
+        std::printf("QA failed: %s\n", result.status().ToString().c_str());
+      }
+    } else {
+      std::printf("embedding failed: %s\n",
+                  embedding.status().ToString().c_str());
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "(the clustered embedding drops the few cross-team savings that lack\n"
+      "couplers; the loss is negligible because teams rarely share — the\n"
+      "paper's argument for clustering in Section 5)\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "anneal/dwave_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anneal/gauge.h"
+#include "util/stopwatch.h"
+
+namespace qmqo {
+namespace anneal {
+namespace {
+
+/// Auto-scale factor fitting the Ising problem into the hardware range.
+double ScaleFactor(const qubo::IsingProblem& ising, double h_range,
+                   double j_range) {
+  double max_h = ising.MaxAbsField();
+  double max_j = ising.MaxAbsCoupling();
+  double scale = 1.0;
+  bool any = false;
+  if (max_h > 0.0) {
+    scale = h_range / max_h;
+    any = true;
+  }
+  if (max_j > 0.0) {
+    double j_scale = j_range / max_j;
+    scale = any ? std::min(scale, j_scale) : j_scale;
+    any = true;
+  }
+  return any ? scale : 1.0;
+}
+
+/// Returns `ising` scaled by `scale` with Gaussian control error applied:
+/// each h is perturbed by N(0, sigma*h_range), each J by N(0, sigma*j_range)
+/// — the per-programming "integrated control error" of the hardware.
+qubo::IsingProblem ScaleAndPerturb(const qubo::IsingProblem& ising,
+                                   double scale, double sigma, double h_range,
+                                   double j_range, Rng* rng) {
+  qubo::IsingProblem out(ising.num_spins());
+  for (qubo::VarId i = 0; i < ising.num_spins(); ++i) {
+    double h = ising.field(i) * scale;
+    if (sigma > 0.0) h += rng->Gaussian(0.0, sigma * h_range);
+    if (h != 0.0) out.AddField(i, h);
+  }
+  for (const qubo::Interaction& term : ising.couplings()) {
+    double j = term.weight * scale;
+    if (sigma > 0.0) j += rng->Gaussian(0.0, sigma * j_range);
+    if (j != 0.0) out.AddCoupling(term.i, term.j, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DeviceResult> DWaveSimulator::Sample(
+    const qubo::QuboProblem& physical) const {
+  if (options_.num_reads <= 0) {
+    return Status::InvalidArgument("num_reads must be positive");
+  }
+  if (options_.num_gauges <= 0) {
+    return Status::InvalidArgument("num_gauges must be positive");
+  }
+  if (options_.h_range <= 0.0 || options_.j_range <= 0.0) {
+    return Status::InvalidArgument("weight ranges must be positive");
+  }
+  Stopwatch wall;
+  qubo::IsingWithOffset converted = qubo::QuboToIsing(physical);
+  const double scale =
+      ScaleFactor(converted.ising, options_.h_range, options_.j_range);
+
+  DeviceResult result;
+  Rng rng(options_.seed);
+  const int reads_per_gauge =
+      std::max(1, options_.num_reads / options_.num_gauges);
+  int reads_left = options_.num_reads;
+  std::vector<int8_t> spins(
+      static_cast<size_t>(converted.ising.num_spins()));
+
+  for (int g = 0; g < options_.num_gauges && reads_left > 0; ++g) {
+    int reads = std::min(reads_per_gauge, reads_left);
+    if (g + 1 == options_.num_gauges) reads = reads_left;
+    reads_left -= reads;
+
+    Rng gauge_rng = rng.Fork(static_cast<uint64_t>(g) * 2 + 1);
+    GaugeTransform gauge =
+        GaugeTransform::Random(converted.ising.num_spins(), &gauge_rng);
+    // Programming cycle: gauge, scale, and apply control error once.
+    qubo::IsingProblem programmed =
+        ScaleAndPerturb(gauge.Apply(converted.ising), scale,
+                        options_.control_error, options_.h_range,
+                        options_.j_range, &gauge_rng);
+
+    if (options_.backend == DeviceBackend::kSimulatedAnnealing) {
+      Schedule beta{0.0, 0.0, ScheduleShape::kGeometric};
+      auto [hot, cold] = SuggestBetaRange(programmed);
+      beta.start = hot;
+      beta.end = cold;
+      for (int read = 0; read < reads; ++read) {
+        Rng read_rng = gauge_rng.Fork(static_cast<uint64_t>(read));
+        for (auto& s : spins) {
+          s = read_rng.Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
+        }
+        AnnealIsingOnce(programmed, beta, options_.sa_sweeps, &read_rng,
+                        &spins);
+        std::vector<uint8_t> assignment =
+            qubo::SpinsToAssignment(gauge.RestoreSpins(spins));
+        // True energy on the customer's problem, not the noisy one.
+        double energy = physical.Energy(assignment);
+        if (options_.record_reads) result.raw_reads.push_back(assignment);
+        result.samples.Add(std::move(assignment), energy);
+      }
+    } else {
+      SqaOptions sqa_options = options_.sqa;
+      sqa_options.num_reads = reads;
+      sqa_options.seed = gauge_rng.Next();
+      SimulatedQuantumAnnealer sqa(sqa_options);
+      SampleSet gauge_samples = sqa.SampleIsing(programmed);
+      for (const anneal::Sample& sample : gauge_samples.samples()) {
+        std::vector<int8_t> restored = gauge.RestoreSpins(
+            qubo::AssignmentToSpins(sample.assignment));
+        std::vector<uint8_t> assignment = qubo::SpinsToAssignment(restored);
+        double energy = physical.Energy(assignment);
+        for (int k = 0; k < sample.num_occurrences; ++k) {
+          if (options_.record_reads) result.raw_reads.push_back(assignment);
+          result.samples.Add(assignment, energy);
+        }
+      }
+    }
+  }
+  result.samples.Finalize();
+  result.device_time_us = DeviceTimeForReads(options_.num_reads);
+  result.wall_clock_ms = wall.ElapsedMillis();
+  result.scale_factor = scale;
+  return result;
+}
+
+}  // namespace anneal
+}  // namespace qmqo

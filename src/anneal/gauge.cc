@@ -1,0 +1,46 @@
+#include "anneal/gauge.h"
+
+#include <cassert>
+
+namespace qmqo {
+namespace anneal {
+
+GaugeTransform GaugeTransform::Random(int num_spins, Rng* rng) {
+  GaugeTransform gauge(num_spins);
+  for (auto& sign : gauge.signs_) {
+    sign = rng->Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
+  }
+  return gauge;
+}
+
+qubo::IsingProblem GaugeTransform::Apply(
+    const qubo::IsingProblem& ising) const {
+  assert(ising.num_spins() == num_spins());
+  qubo::IsingProblem out(ising.num_spins());
+  for (qubo::VarId i = 0; i < ising.num_spins(); ++i) {
+    double h = ising.field(i);
+    if (h != 0.0) {
+      out.AddField(i, h * static_cast<double>(signs_[static_cast<size_t>(i)]));
+    }
+  }
+  for (const qubo::Interaction& term : ising.couplings()) {
+    out.AddCoupling(term.i, term.j,
+                    term.weight *
+                        static_cast<double>(signs_[static_cast<size_t>(term.i)]) *
+                        static_cast<double>(signs_[static_cast<size_t>(term.j)]));
+  }
+  return out;
+}
+
+std::vector<int8_t> GaugeTransform::RestoreSpins(
+    const std::vector<int8_t>& spins) const {
+  assert(spins.size() == signs_.size());
+  std::vector<int8_t> out(spins.size());
+  for (size_t i = 0; i < spins.size(); ++i) {
+    out[i] = static_cast<int8_t>(spins[i] * signs_[i]);
+  }
+  return out;
+}
+
+}  // namespace anneal
+}  // namespace qmqo

@@ -1,0 +1,49 @@
+#ifndef QMQO_ANNEAL_GAUGE_H_
+#define QMQO_ANNEAL_GAUGE_H_
+
+/// \file gauge.h
+/// Gauge transformations (spin-reversal transforms).
+///
+/// A gauge g in {-1,+1}^n maps an Ising problem to an equivalent one with
+/// h'_i = g_i h_i and J'_ij = g_i g_j J_ij; a state s' of the transformed
+/// problem corresponds to s_i = g_i s'_i with identical energy. Annealing
+/// hardware has small per-qubit biases favoring one state; averaging over
+/// random gauges cancels them (Section 7.1 of the paper: 10 gauges x 100
+/// reads).
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/ising.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace anneal {
+
+/// One spin-reversal transform.
+class GaugeTransform {
+ public:
+  /// The identity gauge.
+  explicit GaugeTransform(int num_spins)
+      : signs_(static_cast<size_t>(num_spins), 1) {}
+
+  /// A uniformly random gauge.
+  static GaugeTransform Random(int num_spins, Rng* rng);
+
+  int num_spins() const { return static_cast<int>(signs_.size()); }
+  const std::vector<int8_t>& signs() const { return signs_; }
+
+  /// The transformed (equivalent) problem.
+  qubo::IsingProblem Apply(const qubo::IsingProblem& ising) const;
+
+  /// Maps a state of the transformed problem back to the original frame.
+  std::vector<int8_t> RestoreSpins(const std::vector<int8_t>& spins) const;
+
+ private:
+  std::vector<int8_t> signs_;
+};
+
+}  // namespace anneal
+}  // namespace qmqo
+
+#endif  // QMQO_ANNEAL_GAUGE_H_

@@ -1,0 +1,48 @@
+#include "anneal/sample_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qmqo {
+namespace anneal {
+
+void SampleSet::Add(std::vector<uint8_t> assignment, double energy) {
+  Sample sample;
+  sample.assignment = std::move(assignment);
+  sample.energy = energy;
+  sample.num_occurrences = 1;
+  samples_.push_back(std::move(sample));
+  total_reads_ += 1;
+  finalized_ = false;
+}
+
+void SampleSet::Finalize() {
+  if (finalized_) return;
+  std::sort(samples_.begin(), samples_.end(),
+            [](const Sample& a, const Sample& b) {
+              if (a.energy != b.energy) return a.energy < b.energy;
+              return a.assignment < b.assignment;
+            });
+  std::vector<Sample> merged;
+  for (Sample& sample : samples_) {
+    if (!merged.empty() && merged.back().assignment == sample.assignment) {
+      merged.back().num_occurrences += sample.num_occurrences;
+    } else {
+      merged.push_back(std::move(sample));
+    }
+  }
+  samples_ = std::move(merged);
+  finalized_ = true;
+}
+
+void SampleSet::Merge(const SampleSet& other) {
+  for (const Sample& sample : other.samples_) {
+    samples_.push_back(sample);
+  }
+  total_reads_ += other.total_reads_;
+  finalized_ = false;
+  Finalize();
+}
+
+}  // namespace anneal
+}  // namespace qmqo

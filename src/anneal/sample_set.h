@@ -1,0 +1,56 @@
+#ifndef QMQO_ANNEAL_SAMPLE_SET_H_
+#define QMQO_ANNEAL_SAMPLE_SET_H_
+
+/// \file sample_set.h
+/// Collections of annealing samples, mirroring the result format of
+/// D-Wave's SAPI: assignments with energies and occurrence counts, sorted
+/// by energy.
+
+#include <cstdint>
+#include <vector>
+
+namespace qmqo {
+namespace anneal {
+
+/// One observed assignment.
+struct Sample {
+  std::vector<uint8_t> assignment;
+  double energy = 0.0;
+  int num_occurrences = 1;
+};
+
+/// An energy-sorted, deduplicated collection of samples.
+class SampleSet {
+ public:
+  SampleSet() = default;
+
+  /// Records one read. Not deduplicated until `Finalize`.
+  void Add(std::vector<uint8_t> assignment, double energy);
+
+  /// Sorts by energy (ascending) and merges identical assignments.
+  void Finalize();
+
+  /// Samples in ascending energy order (after `Finalize`).
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  bool empty() const { return samples_.empty(); }
+
+  /// The lowest-energy sample; requires a non-empty set.
+  const Sample& best() const { return samples_.front(); }
+
+  /// Total number of reads recorded (sum of occurrence counts).
+  int total_reads() const { return total_reads_; }
+
+  /// Merges another sample set into this one (re-finalizes).
+  void Merge(const SampleSet& other);
+
+ private:
+  std::vector<Sample> samples_;
+  int total_reads_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace anneal
+}  // namespace qmqo
+
+#endif  // QMQO_ANNEAL_SAMPLE_SET_H_

@@ -1,0 +1,54 @@
+#include "anneal/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace qmqo {
+namespace anneal {
+
+double Schedule::At(int step, int total) const {
+  assert(total >= 1);
+  if (total == 1) return end;
+  double t = static_cast<double>(step) / static_cast<double>(total - 1);
+  t = std::clamp(t, 0.0, 1.0);
+  switch (shape) {
+    case ScheduleShape::kLinear:
+      return start + (end - start) * t;
+    case ScheduleShape::kGeometric: {
+      assert(start > 0.0 && end > 0.0);
+      return start * std::pow(end / start, t);
+    }
+  }
+  return end;
+}
+
+std::pair<double, double> SuggestBetaRange(const qubo::IsingProblem& ising) {
+  // Largest and smallest (nonzero) magnitude of the effective field any
+  // spin can experience.
+  double max_field = 0.0;
+  double min_field = std::numeric_limits<double>::infinity();
+  for (qubo::VarId i = 0; i < ising.num_spins(); ++i) {
+    double field = std::fabs(ising.field(i));
+    for (const auto& [j, w] : ising.neighbors(i)) {
+      (void)j;
+      field += std::fabs(w);
+    }
+    if (field > 0.0) {
+      max_field = std::max(max_field, field);
+      min_field = std::min(min_field, field);
+    }
+  }
+  if (max_field == 0.0) {
+    return {0.1, 1.0};  // trivial problem; any schedule works
+  }
+  if (!std::isfinite(min_field) || min_field <= 0.0) min_field = max_field;
+  double beta_hot = std::log(2.0) / max_field;
+  double beta_cold = std::log(100.0) / min_field;
+  if (beta_cold <= beta_hot) beta_cold = beta_hot * 10.0;
+  return {beta_hot, beta_cold};
+}
+
+}  // namespace anneal
+}  // namespace qmqo

@@ -1,0 +1,90 @@
+#include "anneal/simulated_annealer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qmqo {
+namespace anneal {
+namespace {
+
+/// Fills `spins` with uniform random ±1.
+void RandomSpins(Rng* rng, std::vector<int8_t>* spins) {
+  for (auto& s : *spins) {
+    s = rng->Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
+  }
+}
+
+Schedule ResolveBeta(const qubo::IsingProblem& ising, const Schedule& beta) {
+  if (beta.start > 0.0 && beta.end > 0.0) return beta;
+  auto [hot, cold] = SuggestBetaRange(ising);
+  Schedule resolved = beta;
+  resolved.start = hot;
+  resolved.end = cold;
+  return resolved;
+}
+
+}  // namespace
+
+void AnnealIsingOnce(const qubo::IsingProblem& ising, const Schedule& beta,
+                     int sweeps, Rng* rng, std::vector<int8_t>* spins) {
+  const int n = ising.num_spins();
+  assert(static_cast<int>(spins->size()) == n);
+  // Local fields: field[i] = h_i + sum_j J_ij s_j; flipping spin i changes
+  // the energy by -2 s_i field[i] ... note the sign convention below.
+  std::vector<double> field(static_cast<size_t>(n));
+  for (qubo::VarId i = 0; i < n; ++i) {
+    double f = ising.field(i);
+    for (const auto& [j, w] : ising.neighbors(i)) {
+      f += w * static_cast<double>((*spins)[static_cast<size_t>(j)]);
+    }
+    field[static_cast<size_t>(i)] = f;
+  }
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double b = beta.At(sweep, sweeps);
+    for (qubo::VarId i = 0; i < n; ++i) {
+      double s_i = static_cast<double>((*spins)[static_cast<size_t>(i)]);
+      // field[i] has no self term, so the flip delta is exact.
+      double delta = -2.0 * s_i * field[static_cast<size_t>(i)];
+      if (delta <= 0.0 ||
+          rng->UniformReal(0.0, 1.0) < std::exp(-b * delta)) {
+        (*spins)[static_cast<size_t>(i)] = static_cast<int8_t>(-s_i);
+        double change = -2.0 * s_i;
+        for (const auto& [j, w] : ising.neighbors(i)) {
+          field[static_cast<size_t>(j)] += w * change;
+        }
+      }
+    }
+  }
+}
+
+SampleSet SimulatedAnnealer::SampleIsing(const qubo::IsingProblem& ising) const {
+  Schedule beta = ResolveBeta(ising, options_.beta);
+  Rng rng(options_.seed);
+  SampleSet out;
+  std::vector<int8_t> spins(static_cast<size_t>(ising.num_spins()));
+  for (int read = 0; read < options_.num_reads; ++read) {
+    Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
+    RandomSpins(&read_rng, &spins);
+    AnnealIsingOnce(ising, beta, options_.sweeps_per_read, &read_rng, &spins);
+    out.Add(qubo::SpinsToAssignment(spins), ising.Energy(spins));
+  }
+  out.Finalize();
+  return out;
+}
+
+SampleSet SimulatedAnnealer::Sample(const qubo::QuboProblem& problem) const {
+  qubo::IsingWithOffset converted = qubo::QuboToIsing(problem);
+  SampleSet ising_samples = SampleIsing(converted.ising);
+  // Re-express energies on the QUBO scale.
+  SampleSet out;
+  for (const anneal::Sample& sample : ising_samples.samples()) {
+    for (int k = 0; k < sample.num_occurrences; ++k) {
+      out.Add(sample.assignment, sample.energy + converted.offset);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace anneal
+}  // namespace qmqo

@@ -1,0 +1,119 @@
+#include "anneal/sqa.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace qmqo {
+namespace anneal {
+namespace {
+
+/// Energy delta on the problem Hamiltonian for flipping spin i of slice k.
+double ProblemDelta(const qubo::IsingProblem& ising,
+                    const std::vector<int8_t>& slice, qubo::VarId i) {
+  double field = ising.field(i);
+  for (const auto& [j, w] : ising.neighbors(i)) {
+    field += w * static_cast<double>(slice[static_cast<size_t>(j)]);
+  }
+  return -2.0 * static_cast<double>(slice[static_cast<size_t>(i)]) * field;
+}
+
+}  // namespace
+
+SampleSet SimulatedQuantumAnnealer::SampleIsing(
+    const qubo::IsingProblem& ising) const {
+  const int n = ising.num_spins();
+  const int p = options_.num_slices;
+  assert(p >= 2);
+  const double beta_slice = options_.beta / static_cast<double>(p);
+  Rng rng(options_.seed);
+  SampleSet out;
+
+  for (int read = 0; read < options_.num_reads; ++read) {
+    Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
+    // slices[k][i]: spin i of replica k.
+    std::vector<std::vector<int8_t>> slices(
+        static_cast<size_t>(p), std::vector<int8_t>(static_cast<size_t>(n)));
+    for (auto& slice : slices) {
+      for (auto& s : slice) {
+        s = read_rng.Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
+      }
+    }
+
+    for (int step = 0; step < options_.sweeps; ++step) {
+      double gamma = options_.gamma.At(step, options_.sweeps);
+      gamma = std::max(gamma, 1e-9);
+      // Inter-slice ferromagnetic coupling; positive, diverging as
+      // gamma -> 0. The energy term is −j_perp * s_{k,i} * s_{k+1,i}.
+      double j_perp =
+          -0.5 / beta_slice * std::log(std::tanh(beta_slice * gamma));
+
+      // Single-site Metropolis moves, slice by slice.
+      for (int k = 0; k < p; ++k) {
+        auto& slice = slices[static_cast<size_t>(k)];
+        const auto& prev = slices[static_cast<size_t>((k + p - 1) % p)];
+        const auto& next = slices[static_cast<size_t>((k + 1) % p)];
+        for (qubo::VarId i = 0; i < n; ++i) {
+          double delta = ProblemDelta(ising, slice, i);
+          // Kinetic part: flipping s_{k,i} changes
+          // −j_perp*s_{k,i}(s_{k-1,i}+s_{k+1,i}) by:
+          double s_i = static_cast<double>(slice[static_cast<size_t>(i)]);
+          double neighbors_sum =
+              static_cast<double>(prev[static_cast<size_t>(i)]) +
+              static_cast<double>(next[static_cast<size_t>(i)]);
+          double kinetic = 2.0 * j_perp * s_i * neighbors_sum;
+          double total = delta + kinetic;
+          if (total <= 0.0 || read_rng.UniformReal(0.0, 1.0) <
+                                  std::exp(-beta_slice * total)) {
+            slice[static_cast<size_t>(i)] =
+                static_cast<int8_t>(-slice[static_cast<size_t>(i)]);
+          }
+        }
+      }
+      // Global moves: flip spin i in all slices (kinetic term invariant).
+      for (qubo::VarId i = 0; i < n; ++i) {
+        double delta = 0.0;
+        for (int k = 0; k < p; ++k) {
+          delta += ProblemDelta(ising, slices[static_cast<size_t>(k)], i);
+        }
+        if (delta <= 0.0 || read_rng.UniformReal(0.0, 1.0) <
+                                std::exp(-beta_slice * delta)) {
+          for (int k = 0; k < p; ++k) {
+            auto& s = slices[static_cast<size_t>(k)][static_cast<size_t>(i)];
+            s = static_cast<int8_t>(-s);
+          }
+        }
+      }
+    }
+
+    // Read out the best slice.
+    double best_energy = std::numeric_limits<double>::infinity();
+    const std::vector<int8_t>* best_slice = nullptr;
+    for (const auto& slice : slices) {
+      double energy = ising.Energy(slice);
+      if (energy < best_energy) {
+        best_energy = energy;
+        best_slice = &slice;
+      }
+    }
+    out.Add(qubo::SpinsToAssignment(*best_slice), best_energy);
+  }
+  out.Finalize();
+  return out;
+}
+
+SampleSet SimulatedQuantumAnnealer::Sample(const qubo::QuboProblem& problem) const {
+  qubo::IsingWithOffset converted = qubo::QuboToIsing(problem);
+  SampleSet ising_samples = SampleIsing(converted.ising);
+  SampleSet out;
+  for (const anneal::Sample& sample : ising_samples.samples()) {
+    for (int k = 0; k < sample.num_occurrences; ++k) {
+      out.Add(sample.assignment, sample.energy + converted.offset);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace anneal
+}  // namespace qmqo

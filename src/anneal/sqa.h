@@ -1,0 +1,68 @@
+#ifndef QMQO_ANNEAL_SQA_H_
+#define QMQO_ANNEAL_SQA_H_
+
+/// \file sqa.h
+/// Simulated quantum annealing (SQA): a path-integral Monte Carlo emulation
+/// of transverse-field quantum annealing, the standard classical model of
+/// the D-Wave annealing process.
+///
+/// The quantum Hamiltonian H(t) = A(t) * H_driver + B(t) * H_problem with a
+/// decaying transverse field Gamma is Trotterized into P coupled replicas
+/// ("slices") of the classical problem. Slice k couples to slice k+1
+/// (periodically) on each site with ferromagnetic strength
+///
+///   J_perp(Gamma) = -(1 / (2 beta_slice)) * ln tanh(beta_slice * Gamma),
+///
+/// which diverges as Gamma -> 0, freezing the replicas into a single
+/// classical state. Metropolis sweeps alternate single-site moves and
+/// global (all-slice) spin flips.
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/sample_set.h"
+#include "anneal/schedule.h"
+#include "qubo/ising.h"
+#include "qubo/qubo.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace anneal {
+
+/// Options for `SimulatedQuantumAnnealer`.
+struct SqaOptions {
+  int num_reads = 100;
+  /// Trotter slices P.
+  int num_slices = 16;
+  /// Annealing steps; each step sweeps every slice once plus one global
+  /// sweep.
+  int sweeps = 300;
+  /// Inverse temperature of the quantum system (distributed over slices).
+  double beta = 16.0;
+  /// Transverse-field ramp (linear, as on the hardware).
+  Schedule gamma{3.0, 0.01, ScheduleShape::kLinear};
+  uint64_t seed = 1;
+};
+
+/// Path-integral Monte Carlo sampler.
+class SimulatedQuantumAnnealer {
+ public:
+  explicit SimulatedQuantumAnnealer(const SqaOptions& options)
+      : options_(options) {}
+
+  /// Samples an Ising problem; each read reports the best slice's state.
+  SampleSet SampleIsing(const qubo::IsingProblem& ising) const;
+
+  /// QUBO wrapper (exact Ising conversion; energies on the QUBO scale).
+  SampleSet Sample(const qubo::QuboProblem& problem) const;
+
+  const SqaOptions& options() const { return options_; }
+
+ private:
+  SqaOptions options_;
+};
+
+}  // namespace anneal
+}  // namespace qmqo
+
+#endif  // QMQO_ANNEAL_SQA_H_

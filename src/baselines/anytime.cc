@@ -1,0 +1,16 @@
+#include "baselines/anytime.h"
+
+namespace qmqo {
+namespace baselines {
+
+mqo::MqoSolution RandomSolution(const mqo::MqoProblem& problem, Rng* rng) {
+  mqo::MqoSolution solution(problem.num_queries());
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    int pick = rng->UniformInt(0, problem.num_plans_of(q) - 1);
+    solution.Select(q, problem.first_plan(q) + pick);
+  }
+  return solution;
+}
+
+}  // namespace baselines
+}  // namespace qmqo

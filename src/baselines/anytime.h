@@ -1,0 +1,54 @@
+#ifndef QMQO_BASELINES_ANYTIME_H_
+#define QMQO_BASELINES_ANYTIME_H_
+
+/// \file anytime.h
+/// The common interface of the classical MQO heuristics the paper compares
+/// against (Section 7.1): anytime optimizers that report every incumbent
+/// improvement with a timestamp so cost-vs-time trajectories (Figures 4-5)
+/// can be recorded.
+
+#include <functional>
+#include <string>
+
+#include "mqo/problem.h"
+#include "mqo/solution.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace baselines {
+
+/// Time/iteration budget of one optimization run.
+struct OptimizerBudget {
+  /// Wall-clock limit in milliseconds.
+  double time_limit_ms = 1000.0;
+  /// Iteration limit (generations / restarts, solver-specific); 0 = none.
+  int64_t max_iterations = 0;
+};
+
+/// Invoked whenever the incumbent improves: (elapsed ms, cost, solution).
+using ProgressCallback =
+    std::function<void(double, double, const mqo::MqoSolution&)>;
+
+/// Common interface of the randomized baselines.
+class AnytimeOptimizer {
+ public:
+  virtual ~AnytimeOptimizer() = default;
+
+  /// Short display name (e.g. "GA(50)", "CLIMB").
+  virtual std::string name() const = 0;
+
+  /// Optimizes until the budget is exhausted; returns the best solution
+  /// found (always valid).
+  virtual Result<mqo::MqoSolution> Optimize(
+      const mqo::MqoProblem& problem, const OptimizerBudget& budget,
+      Rng* rng, const ProgressCallback& on_improvement) const = 0;
+};
+
+/// Draws a uniformly random complete solution.
+mqo::MqoSolution RandomSolution(const mqo::MqoProblem& problem, Rng* rng);
+
+}  // namespace baselines
+}  // namespace qmqo
+
+#endif  // QMQO_BASELINES_ANYTIME_H_

@@ -1,0 +1,140 @@
+#include "baselines/genetic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace baselines {
+namespace {
+
+using Genome = std::vector<int>;  // per query: plan offset within the query
+
+double GenomeCost(const mqo::MqoProblem& problem, const Genome& genome) {
+  mqo::MqoSolution solution(problem.num_queries());
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    solution.Select(q, problem.first_plan(q) + genome[static_cast<size_t>(q)]);
+  }
+  return mqo::EvaluateCost(problem, solution);
+}
+
+mqo::MqoSolution GenomeToSolution(const mqo::MqoProblem& problem,
+                                  const Genome& genome) {
+  mqo::MqoSolution solution(problem.num_queries());
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    solution.Select(q, problem.first_plan(q) + genome[static_cast<size_t>(q)]);
+  }
+  return solution;
+}
+
+}  // namespace
+
+std::string GeneticAlgorithm::name() const {
+  return StrFormat("GA(%d)", options_.population_size);
+}
+
+Result<mqo::MqoSolution> GeneticAlgorithm::Optimize(
+    const mqo::MqoProblem& problem, const OptimizerBudget& budget, Rng* rng,
+    const ProgressCallback& on_improvement) const {
+  QMQO_RETURN_IF_ERROR(problem.Validate());
+  if (options_.population_size < 2) {
+    return Status::InvalidArgument("population size must be at least 2");
+  }
+  Stopwatch clock;
+  const int n = problem.num_queries();
+  const int pop_size = options_.population_size;
+
+  struct Individual {
+    Genome genome;
+    double cost = 0.0;
+  };
+  std::vector<Individual> population;
+  population.reserve(static_cast<size_t>(pop_size));
+  for (int i = 0; i < pop_size; ++i) {
+    Individual ind;
+    ind.genome.resize(static_cast<size_t>(n));
+    for (mqo::QueryId q = 0; q < n; ++q) {
+      ind.genome[static_cast<size_t>(q)] =
+          rng->UniformInt(0, problem.num_plans_of(q) - 1);
+    }
+    ind.cost = GenomeCost(problem, ind.genome);
+    population.push_back(std::move(ind));
+  }
+  auto by_cost = [](const Individual& a, const Individual& b) {
+    return a.cost < b.cost;
+  };
+  std::sort(population.begin(), population.end(), by_cost);
+
+  double best_cost = population.front().cost;
+  Genome best_genome = population.front().genome;
+  if (on_improvement) {
+    on_improvement(clock.ElapsedMillis(), best_cost,
+                   GenomeToSolution(problem, best_genome));
+  }
+
+  int64_t generation = 0;
+  while (clock.ElapsedMillis() < budget.time_limit_ms &&
+         (budget.max_iterations == 0 ||
+          generation < budget.max_iterations)) {
+    ++generation;
+    std::vector<Individual> offspring;
+    // Crossover: `crossover_rate * pop` parent pairs, single point.
+    int num_pairs =
+        static_cast<int>(options_.crossover_rate * pop_size / 2.0 + 0.5);
+    for (int pair = 0; pair < num_pairs; ++pair) {
+      const Genome& a =
+          population[static_cast<size_t>(rng->UniformInt(0, pop_size - 1))]
+              .genome;
+      const Genome& b =
+          population[static_cast<size_t>(rng->UniformInt(0, pop_size - 1))]
+              .genome;
+      int cut = rng->UniformInt(1, std::max(1, n - 1));
+      Individual child1;
+      Individual child2;
+      child1.genome.assign(a.begin(), a.begin() + cut);
+      child1.genome.insert(child1.genome.end(), b.begin() + cut, b.end());
+      child2.genome.assign(b.begin(), b.begin() + cut);
+      child2.genome.insert(child2.genome.end(), a.begin() + cut, a.end());
+      offspring.push_back(std::move(child1));
+      offspring.push_back(std::move(child2));
+    }
+    // Mutation: every population member may spawn a mutated copy.
+    for (int i = 0; i < pop_size; ++i) {
+      Individual mutant;
+      mutant.genome = population[static_cast<size_t>(i)].genome;
+      bool changed = false;
+      for (mqo::QueryId q = 0; q < n; ++q) {
+        if (rng->Bernoulli(options_.mutation_rate)) {
+          mutant.genome[static_cast<size_t>(q)] =
+              rng->UniformInt(0, problem.num_plans_of(q) - 1);
+          changed = true;
+        }
+      }
+      if (changed) offspring.push_back(std::move(mutant));
+    }
+    for (Individual& child : offspring) {
+      child.cost = GenomeCost(problem, child.genome);
+    }
+    // Top-n selection over parents + offspring.
+    population.insert(population.end(),
+                      std::make_move_iterator(offspring.begin()),
+                      std::make_move_iterator(offspring.end()));
+    std::sort(population.begin(), population.end(), by_cost);
+    population.resize(static_cast<size_t>(pop_size));
+
+    if (population.front().cost < best_cost - 1e-12) {
+      best_cost = population.front().cost;
+      best_genome = population.front().genome;
+      if (on_improvement) {
+        on_improvement(clock.ElapsedMillis(), best_cost,
+                       GenomeToSolution(problem, best_genome));
+      }
+    }
+  }
+  return GenomeToSolution(problem, best_genome);
+}
+
+}  // namespace baselines
+}  // namespace qmqo

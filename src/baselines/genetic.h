@@ -1,0 +1,46 @@
+#ifndef QMQO_BASELINES_GENETIC_H_
+#define QMQO_BASELINES_GENETIC_H_
+
+/// \file genetic.h
+/// Genetic algorithm for MQO, reimplementing the configuration the paper
+/// benchmarks (JGAP 3.6.3 defaults): integer genome with one gene per query
+/// (the chosen plan), single-point crossover at rate 0.35, per-gene
+/// mutation at rate 1/12, and "top-n" natural selection that keeps the
+/// population's best individuals each generation. Population sizes 50 and
+/// 200 reproduce the paper's GA(50) / GA(200) series.
+
+#include "baselines/anytime.h"
+
+namespace qmqo {
+namespace baselines {
+
+/// Options for `GeneticAlgorithm`, defaults per the paper / JGAP.
+struct GeneticOptions {
+  int population_size = 50;
+  /// Fraction of the population producing crossover offspring per
+  /// generation.
+  double crossover_rate = 0.35;
+  /// Per-gene probability of mutating to a random plan.
+  double mutation_rate = 1.0 / 12.0;
+};
+
+/// The GA baseline.
+class GeneticAlgorithm : public AnytimeOptimizer {
+ public:
+  explicit GeneticAlgorithm(const GeneticOptions& options = GeneticOptions())
+      : options_(options) {}
+
+  std::string name() const override;
+
+  Result<mqo::MqoSolution> Optimize(
+      const mqo::MqoProblem& problem, const OptimizerBudget& budget,
+      Rng* rng, const ProgressCallback& on_improvement) const override;
+
+ private:
+  GeneticOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace qmqo
+
+#endif  // QMQO_BASELINES_GENETIC_H_

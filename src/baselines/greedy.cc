@@ -1,0 +1,92 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/stopwatch.h"
+
+namespace qmqo {
+namespace baselines {
+
+mqo::MqoSolution GreedySolver::Construct(const mqo::MqoProblem& problem) {
+  // Order queries by incident saving mass, largest first: queries with the
+  // most sharing potential commit early so later queries can join them.
+  std::vector<mqo::QueryId> order(static_cast<size_t>(problem.num_queries()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> mass(static_cast<size_t>(problem.num_queries()), 0.0);
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    for (int k = 0; k < problem.num_plans_of(q); ++k) {
+      mass[static_cast<size_t>(q)] +=
+          problem.accumulated_saving_of(problem.first_plan(q) + k);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](mqo::QueryId a, mqo::QueryId b) {
+                     return mass[static_cast<size_t>(a)] >
+                            mass[static_cast<size_t>(b)];
+                   });
+
+  std::vector<uint8_t> chosen(static_cast<size_t>(problem.num_plans()), 0);
+  std::vector<uint8_t> decided(static_cast<size_t>(problem.num_queries()), 0);
+  std::vector<double> best_per_query(
+      static_cast<size_t>(problem.num_queries()), 0.0);
+  mqo::MqoSolution solution(problem.num_queries());
+  for (mqo::QueryId q : order) {
+    mqo::PlanId best = problem.first_plan(q);
+    double best_marginal = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < problem.num_plans_of(q); ++k) {
+      mqo::PlanId p = problem.first_plan(q) + k;
+      // Exact credit for savings with committed plans; optimistic half
+      // credit (best plan per partner query) for savings with queries not
+      // yet decided — so plans that enable future sharing win over plans
+      // that are marginally cheaper in isolation.
+      double marginal = problem.plan_cost(p);
+      const auto& savings = problem.savings_of(p);
+      for (const auto& [other, value] : savings) {
+        if (chosen[static_cast<size_t>(other)]) {
+          marginal -= value;
+          continue;
+        }
+        mqo::QueryId oq = problem.query_of(other);
+        if (decided[static_cast<size_t>(oq)]) continue;
+        best_per_query[static_cast<size_t>(oq)] =
+            std::max(best_per_query[static_cast<size_t>(oq)], value);
+      }
+      for (const auto& [other, value] : savings) {
+        (void)value;
+        mqo::QueryId oq = problem.query_of(other);
+        if (best_per_query[static_cast<size_t>(oq)] > 0.0) {
+          marginal -= 0.5 * best_per_query[static_cast<size_t>(oq)];
+          best_per_query[static_cast<size_t>(oq)] = 0.0;
+        }
+      }
+      if (marginal < best_marginal) {
+        best_marginal = marginal;
+        best = p;
+      }
+    }
+    chosen[static_cast<size_t>(best)] = 1;
+    decided[static_cast<size_t>(q)] = 1;
+    solution.Select(q, best);
+  }
+  return solution;
+}
+
+Result<mqo::MqoSolution> GreedySolver::Optimize(
+    const mqo::MqoProblem& problem, const OptimizerBudget& budget, Rng* rng,
+    const ProgressCallback& on_improvement) const {
+  (void)budget;
+  (void)rng;
+  QMQO_RETURN_IF_ERROR(problem.Validate());
+  Stopwatch clock;
+  mqo::MqoSolution solution = Construct(problem);
+  if (on_improvement) {
+    on_improvement(clock.ElapsedMillis(),
+                   mqo::EvaluateCost(problem, solution), solution);
+  }
+  return solution;
+}
+
+}  // namespace baselines
+}  // namespace qmqo

@@ -1,0 +1,34 @@
+#ifndef QMQO_BASELINES_GREEDY_H_
+#define QMQO_BASELINES_GREEDY_H_
+
+/// \file greedy.h
+/// One-shot greedy construction: queries are processed in descending order
+/// of their incident saving mass; each picks the plan with the smallest
+/// marginal cost given earlier choices. Deterministic and near-instant —
+/// the "cheap heuristic" yardstick in the experiment harness and the warm
+/// start of the exact solvers.
+
+#include "baselines/anytime.h"
+
+namespace qmqo {
+namespace baselines {
+
+/// The greedy baseline (ignores the rng and budget; runs once).
+class GreedySolver : public AnytimeOptimizer {
+ public:
+  GreedySolver() = default;
+
+  std::string name() const override { return "GREEDY"; }
+
+  Result<mqo::MqoSolution> Optimize(
+      const mqo::MqoProblem& problem, const OptimizerBudget& budget,
+      Rng* rng, const ProgressCallback& on_improvement) const override;
+
+  /// Direct entry point without the anytime plumbing.
+  static mqo::MqoSolution Construct(const mqo::MqoProblem& problem);
+};
+
+}  // namespace baselines
+}  // namespace qmqo
+
+#endif  // QMQO_BASELINES_GREEDY_H_

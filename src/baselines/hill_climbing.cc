@@ -1,0 +1,61 @@
+#include "baselines/hill_climbing.h"
+
+#include <limits>
+
+#include "util/stopwatch.h"
+
+namespace qmqo {
+namespace baselines {
+
+Result<mqo::MqoSolution> IteratedHillClimbing::Optimize(
+    const mqo::MqoProblem& problem, const OptimizerBudget& budget, Rng* rng,
+    const ProgressCallback& on_improvement) const {
+  QMQO_RETURN_IF_ERROR(problem.Validate());
+  Stopwatch clock;
+  mqo::IncrementalCostEvaluator eval(problem);
+  double best_cost = std::numeric_limits<double>::infinity();
+  mqo::MqoSolution best(problem.num_queries());
+
+  int64_t restarts = 0;
+  bool out_of_time = false;
+  while (!out_of_time &&
+         (budget.max_iterations == 0 || restarts < budget.max_iterations)) {
+    ++restarts;
+    eval.Reset(RandomSolution(problem, rng));
+    // Steepest descent: apply the best improving swap until local optimum.
+    while (true) {
+      if (clock.ElapsedMillis() > budget.time_limit_ms) {
+        out_of_time = true;
+        break;
+      }
+      mqo::QueryId best_query = -1;
+      mqo::PlanId best_plan = -1;
+      double best_delta = -1e-12;
+      for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+        for (int k = 0; k < problem.num_plans_of(q); ++k) {
+          mqo::PlanId p = problem.first_plan(q) + k;
+          if (p == eval.selected(q)) continue;
+          double delta = eval.SwapDelta(q, p);
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_query = q;
+            best_plan = p;
+          }
+        }
+      }
+      if (best_query < 0) break;  // local optimum
+      eval.ApplySwap(best_query, best_plan);
+    }
+    if (eval.cost() < best_cost - 1e-12) {
+      best_cost = eval.cost();
+      best = eval.ToSolution();
+      if (on_improvement) {
+        on_improvement(clock.ElapsedMillis(), best_cost, best);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace baselines
+}  // namespace qmqo

@@ -1,0 +1,30 @@
+#ifndef QMQO_BASELINES_HILL_CLIMBING_H_
+#define QMQO_BASELINES_HILL_CLIMBING_H_
+
+/// \file hill_climbing.h
+/// Iterated hill climbing ("CLIMB" in the paper): repeatedly draw a random
+/// plan selection and descend to a local optimum by steepest single-query
+/// plan swaps, keeping the best local optimum found. Swap evaluation is
+/// O(plan degree) via the incremental cost evaluator.
+
+#include "baselines/anytime.h"
+
+namespace qmqo {
+namespace baselines {
+
+/// The iterated hill-climbing baseline.
+class IteratedHillClimbing : public AnytimeOptimizer {
+ public:
+  IteratedHillClimbing() = default;
+
+  std::string name() const override { return "CLIMB"; }
+
+  Result<mqo::MqoSolution> Optimize(
+      const mqo::MqoProblem& problem, const OptimizerBudget& budget,
+      Rng* rng, const ProgressCallback& on_improvement) const override;
+};
+
+}  // namespace baselines
+}  // namespace qmqo
+
+#endif  // QMQO_BASELINES_HILL_CLIMBING_H_

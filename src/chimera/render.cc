@@ -1,0 +1,49 @@
+#include "chimera/render.h"
+
+namespace qmqo {
+namespace chimera {
+namespace {
+
+char LabelGlyph(int label) {
+  if (label < 0) return '.';
+  label %= 62;
+  if (label < 10) return static_cast<char>('0' + label);
+  if (label < 36) return static_cast<char>('a' + label - 10);
+  return static_cast<char>('A' + label - 36);
+}
+
+}  // namespace
+
+std::string Render(const ChimeraGraph& graph, const std::vector<int>& labels) {
+  std::string out;
+  // Each cell: "[lr]" columns; cells separated by spaces, cell rows by a
+  // blank line. Left column qubit k on text row k of the block.
+  for (int r = 0; r < graph.rows(); ++r) {
+    for (int k = 0; k < graph.shore(); ++k) {
+      for (int c = 0; c < graph.cols(); ++c) {
+        QubitId left = graph.IdOf(r, c, 0, k);
+        QubitId right = graph.IdOf(r, c, 1, k);
+        auto glyph = [&](QubitId q) {
+          if (graph.IsBroken(q)) return '#';
+          if (!labels.empty()) return LabelGlyph(labels[static_cast<size_t>(q)]);
+          return '.';
+        };
+        out += '[';
+        out += glyph(left);
+        out += glyph(right);
+        out += ']';
+        if (c + 1 < graph.cols()) out += ' ';
+      }
+      out += '\n';
+    }
+    if (r + 1 < graph.rows()) out += '\n';
+  }
+  return out;
+}
+
+std::string Render(const ChimeraGraph& graph) {
+  return Render(graph, std::vector<int>());
+}
+
+}  // namespace chimera
+}  // namespace qmqo

@@ -1,0 +1,28 @@
+#ifndef QMQO_CHIMERA_RENDER_H_
+#define QMQO_CHIMERA_RENDER_H_
+
+/// \file render.h
+/// ASCII rendering of Chimera graphs and qubit labelings, in the spirit of
+/// the paper's Figures 1-3 (unit cells, broken qubits, chain ids).
+
+#include <string>
+#include <vector>
+
+#include "chimera/topology.h"
+
+namespace qmqo {
+namespace chimera {
+
+/// Renders the cell grid. Each cell is drawn as two columns of `shore`
+/// qubit glyphs: '.' working and unlabeled, '#' broken, or a label
+/// character. `labels` (optional, may be empty) assigns an integer label to
+/// each qubit; labels are shown modulo 62 as 0-9a-zA-Z; -1 means unlabeled.
+std::string Render(const ChimeraGraph& graph, const std::vector<int>& labels);
+
+/// Renders only working/broken structure.
+std::string Render(const ChimeraGraph& graph);
+
+}  // namespace chimera
+}  // namespace qmqo
+
+#endif  // QMQO_CHIMERA_RENDER_H_

@@ -1,0 +1,138 @@
+#include "chimera/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace chimera {
+
+ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
+    : rows_(rows), cols_(cols), shore_(shore) {
+  assert(rows > 0 && cols > 0 && shore > 0);
+  broken_.assign(static_cast<size_t>(num_qubits()), 0);
+  BuildAdjacency();
+}
+
+ChimeraGraph ChimeraGraph::DWave2X() { return ChimeraGraph(12, 12, 4); }
+
+ChimeraGraph ChimeraGraph::DWave2XWithDefects(Rng* rng, int num_broken) {
+  ChimeraGraph graph = DWave2X();
+  graph.BreakRandom(num_broken, rng);
+  return graph;
+}
+
+QubitId ChimeraGraph::IdOf(int row, int col, int side, int index) const {
+  assert(row >= 0 && row < rows_);
+  assert(col >= 0 && col < cols_);
+  assert(side == 0 || side == 1);
+  assert(index >= 0 && index < shore_);
+  return ((row * cols_ + col) * 2 + side) * shore_ + index;
+}
+
+QubitId ChimeraGraph::IdOf(const QubitCoord& coord) const {
+  return IdOf(coord.row, coord.col, coord.side, coord.index);
+}
+
+QubitCoord ChimeraGraph::CoordOf(QubitId q) const {
+  assert(q >= 0 && q < num_qubits());
+  QubitCoord coord;
+  coord.index = q % shore_;
+  q /= shore_;
+  coord.side = q % 2;
+  q /= 2;
+  coord.col = q % cols_;
+  coord.row = q / cols_;
+  return coord;
+}
+
+void ChimeraGraph::SetBroken(QubitId q, bool broken) {
+  assert(q >= 0 && q < num_qubits());
+  uint8_t flag = broken ? 1 : 0;
+  if (broken_[static_cast<size_t>(q)] == flag) return;
+  broken_[static_cast<size_t>(q)] = flag;
+  num_broken_ += broken ? 1 : -1;
+}
+
+void ChimeraGraph::BreakRandom(int count, Rng* rng) {
+  std::vector<QubitId> working;
+  working.reserve(static_cast<size_t>(num_working_qubits()));
+  for (QubitId q = 0; q < num_qubits(); ++q) {
+    if (IsWorking(q)) working.push_back(q);
+  }
+  count = std::min<int>(count, static_cast<int>(working.size()));
+  std::vector<int> picks =
+      rng->SampleWithoutReplacement(static_cast<int>(working.size()), count);
+  for (int pick : picks) {
+    SetBroken(working[static_cast<size_t>(pick)], true);
+  }
+}
+
+void ChimeraGraph::BuildAdjacency() {
+  adjacency_.assign(static_cast<size_t>(num_qubits()), {});
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      // Intra-cell K_{shore,shore}.
+      for (int i = 0; i < shore_; ++i) {
+        QubitId left = IdOf(r, c, 0, i);
+        for (int j = 0; j < shore_; ++j) {
+          QubitId right = IdOf(r, c, 1, j);
+          adjacency_[static_cast<size_t>(left)].push_back(right);
+          adjacency_[static_cast<size_t>(right)].push_back(left);
+        }
+      }
+      // Vertical couplers between left shores of vertically adjacent cells.
+      if (r + 1 < rows_) {
+        for (int i = 0; i < shore_; ++i) {
+          QubitId upper = IdOf(r, c, 0, i);
+          QubitId lower = IdOf(r + 1, c, 0, i);
+          adjacency_[static_cast<size_t>(upper)].push_back(lower);
+          adjacency_[static_cast<size_t>(lower)].push_back(upper);
+        }
+      }
+      // Horizontal couplers between right shores of horizontally adjacent
+      // cells.
+      if (c + 1 < cols_) {
+        for (int i = 0; i < shore_; ++i) {
+          QubitId left_cell = IdOf(r, c, 1, i);
+          QubitId right_cell = IdOf(r, c + 1, 1, i);
+          adjacency_[static_cast<size_t>(left_cell)].push_back(right_cell);
+          adjacency_[static_cast<size_t>(right_cell)].push_back(left_cell);
+        }
+      }
+    }
+  }
+  for (auto& neighbors : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+}
+
+int ChimeraGraph::num_couplers() const {
+  int intra = rows_ * cols_ * shore_ * shore_;
+  int vertical = (rows_ - 1) * cols_ * shore_;
+  int horizontal = rows_ * (cols_ - 1) * shore_;
+  return intra + vertical + horizontal;
+}
+
+bool ChimeraGraph::HasCoupler(QubitId a, QubitId b) const {
+  if (a == b) return false;
+  const auto& neighbors = adjacency_[static_cast<size_t>(a)];
+  return std::binary_search(neighbors.begin(), neighbors.end(), b);
+}
+
+std::vector<QubitId> ChimeraGraph::WorkingNeighbors(QubitId q) const {
+  std::vector<QubitId> out;
+  for (QubitId n : Neighbors(q)) {
+    if (IsWorking(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::string ChimeraGraph::Summary() const {
+  return StrFormat("Chimera(%dx%dx%d, %d qubits, %d broken)", rows_, cols_,
+                   shore_, num_qubits(), num_broken_);
+}
+
+}  // namespace chimera
+}  // namespace qmqo

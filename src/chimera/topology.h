@@ -1,0 +1,112 @@
+#ifndef QMQO_CHIMERA_TOPOLOGY_H_
+#define QMQO_CHIMERA_TOPOLOGY_H_
+
+/// \file topology.h
+/// The Chimera qubit-interconnect topology of the D-Wave 2X (Section 2).
+///
+/// Qubits are grouped into a grid of unit cells; each cell holds `2*shore`
+/// qubits split into a left shore (side 0) and a right shore (side 1).
+/// Couplers:
+///   * intra-cell: every left qubit to every right qubit (K_{shore,shore});
+///   * vertical:   left qubit k of cell (r,c) to left qubit k of (r±1,c);
+///   * horizontal: right qubit k of cell (r,c) to right qubit k of (r,c±1).
+/// For shore 4 every qubit therefore touches at most six others — the
+/// sparsity that forces multi-qubit chains in the physical mapping.
+///
+/// Manufacturing defects are modeled as broken qubits: a broken qubit and
+/// all its couplers are unusable. The D-Wave 2X profile (12x12 cells, 1152
+/// qubits) defaults to 55 broken qubits, leaving the paper's 1097.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace chimera {
+
+/// Physical qubit index, in [0, num_qubits).
+using QubitId = int;
+
+/// Structured address of a qubit.
+struct QubitCoord {
+  int row = 0;    ///< Cell row.
+  int col = 0;    ///< Cell column.
+  int side = 0;   ///< 0 = left shore (vertical couplers), 1 = right shore.
+  int index = 0;  ///< Position within the shore, in [0, shore).
+};
+
+/// An immutable-topology, mutable-defect-set Chimera graph.
+class ChimeraGraph {
+ public:
+  /// Builds an intact rows x cols grid of cells with the given shore size.
+  ChimeraGraph(int rows, int cols, int shore = 4);
+
+  /// The D-Wave 2X: 12x12 cells, shore 4, all 1152 qubits intact.
+  static ChimeraGraph DWave2X();
+
+  /// The D-Wave 2X with `num_broken` random defects (default 55, giving the
+  /// paper's 1097 working qubits). Deterministic in the rng seed.
+  static ChimeraGraph DWave2XWithDefects(Rng* rng, int num_broken = 55);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int shore() const { return shore_; }
+  int num_cells() const { return rows_ * cols_; }
+  int num_qubits() const { return rows_ * cols_ * 2 * shore_; }
+  int num_working_qubits() const { return num_qubits() - num_broken_; }
+  int num_broken_qubits() const { return num_broken_; }
+
+  /// Structural coupler count (ignoring defects).
+  int num_couplers() const;
+
+  QubitId IdOf(const QubitCoord& coord) const;
+  QubitId IdOf(int row, int col, int side, int index) const;
+  QubitCoord CoordOf(QubitId q) const;
+
+  bool IsBroken(QubitId q) const { return broken_[static_cast<size_t>(q)]; }
+  bool IsWorking(QubitId q) const { return !IsBroken(q); }
+
+  /// Marks a qubit broken/working; idempotent.
+  void SetBroken(QubitId q, bool broken);
+
+  /// Breaks `count` distinct random working qubits.
+  void BreakRandom(int count, Rng* rng);
+
+  /// True when the topology has a coupler between `a` and `b` (defects
+  /// ignored).
+  bool HasCoupler(QubitId a, QubitId b) const;
+
+  /// True when a coupler exists and both endpoints are working.
+  bool CouplerUsable(QubitId a, QubitId b) const {
+    return HasCoupler(a, b) && IsWorking(a) && IsWorking(b);
+  }
+
+  /// Structural neighbors of `q` (defects ignored); at most shore + 2.
+  const std::vector<QubitId>& Neighbors(QubitId q) const {
+    return adjacency_[static_cast<size_t>(q)];
+  }
+
+  /// Working neighbors of a working qubit.
+  std::vector<QubitId> WorkingNeighbors(QubitId q) const;
+
+  /// One-line summary, e.g. "Chimera(12x12x4, 1152 qubits, 55 broken)".
+  std::string Summary() const;
+
+ private:
+  void BuildAdjacency();
+
+  int rows_;
+  int cols_;
+  int shore_;
+  int num_broken_ = 0;
+  std::vector<uint8_t> broken_;
+  std::vector<std::vector<QubitId>> adjacency_;
+};
+
+}  // namespace chimera
+}  // namespace qmqo
+
+#endif  // QMQO_CHIMERA_TOPOLOGY_H_

@@ -1,0 +1,67 @@
+#include "embedding/capacity.h"
+
+#include <algorithm>
+
+#include "embedding/clustered.h"
+#include "embedding/triad.h"
+
+namespace qmqo {
+namespace embedding {
+
+int MaxQueriesForDimensions(int rows, int cols, int shore,
+                            int plans_per_query) {
+  if (plans_per_query <= 0 || rows <= 0 || cols <= 0 || shore <= 0) return 0;
+  int cells = rows * cols;
+  if (plans_per_query == 1) {
+    return cells * 2 * shore;
+  }
+  if (plans_per_query <= shore + 1) {
+    int per_cell = shore / (plans_per_query - 1);
+    return cells * per_cell;
+  }
+  int block = TriadEmbedder::BlockSize(plans_per_query, shore);
+  if (block > rows || block > cols) return 0;
+  return (rows / block) * (cols / block);
+}
+
+std::vector<CapacityPoint> CapacityCurve(int rows, int cols, int shore,
+                                         int max_plans) {
+  std::vector<CapacityPoint> curve;
+  for (int l = 1; l <= max_plans; ++l) {
+    CapacityPoint point;
+    point.plans_per_query = l;
+    point.max_queries = MaxQueriesForDimensions(rows, cols, shore, l);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+int MeasuredMaxQueries(const chimera::ChimeraGraph& graph,
+                       int plans_per_query) {
+  if (plans_per_query == 2) {
+    return PairMatchingEmbedder::Capacity(graph);
+  }
+  // Feasibility is monotone in the query count, so binary search over the
+  // clustered embedder.
+  int lo = 0;  // feasible
+  int hi = MaxQueriesForDimensions(graph.rows(), graph.cols(), graph.shore(),
+                                   plans_per_query) +
+           1;  // infeasible (or sentinel)
+  auto feasible = [&](int n) {
+    if (n == 0) return true;
+    std::vector<int> sizes(static_cast<size_t>(n), plans_per_query);
+    return ClusteredEmbedder::Embed(sizes, graph).ok();
+  };
+  while (lo + 1 < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace embedding
+}  // namespace qmqo

@@ -1,0 +1,46 @@
+#ifndef QMQO_EMBEDDING_CAPACITY_H_
+#define QMQO_EMBEDDING_CAPACITY_H_
+
+/// \file capacity.h
+/// Capacity model: how many queries of a given plan count fit on a qubit
+/// budget (the paper's Figure 7) or on a concrete, possibly defective chip.
+
+#include <vector>
+
+#include "chimera/topology.h"
+
+namespace qmqo {
+namespace embedding {
+
+/// One point of a capacity curve.
+struct CapacityPoint {
+  int plans_per_query = 0;
+  int max_queries = 0;
+};
+
+/// Analytic capacity on an intact rows x cols x shore chip, assuming one
+/// cluster per query (the paper's experimental setup):
+///   l == 1                  -> one qubit per query;
+///   2 <= l <= shore+1       -> floor(shore / (l-1)) queries per cell;
+///   l > shore+1             -> one query per ceil(l/shore)^2-cell TRIAD
+///                              block, packed on a block grid.
+int MaxQueriesForDimensions(int rows, int cols, int shore,
+                            int plans_per_query);
+
+/// Capacity curve for plans/query in [1, max_plans], matching Figure 7's
+/// axes (the paper evaluates budgets of 1152, 2304 and 4608 qubits, i.e.
+/// 12x12, 12x24 and 24x24 cells).
+std::vector<CapacityPoint> CapacityCurve(int rows, int cols, int shore,
+                                         int max_plans);
+
+/// Measured capacity on a concrete (possibly defective) graph: the largest
+/// n such that n queries of `plans_per_query` plans embed. Uses the
+/// pair-matching embedder for 2 plans and binary search over the clustered
+/// embedder otherwise.
+int MeasuredMaxQueries(const chimera::ChimeraGraph& graph,
+                       int plans_per_query);
+
+}  // namespace embedding
+}  // namespace qmqo
+
+#endif  // QMQO_EMBEDDING_CAPACITY_H_

@@ -1,0 +1,68 @@
+#include "embedding/clique_in_cell.h"
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace embedding {
+
+Result<std::vector<Chain>> CliqueInCellEmbedder::EmbedInCell(
+    int k, int row, int col, const chimera::ChimeraGraph& graph) {
+  if (k < 1 || k > MaxK(graph.shore())) {
+    return Status::InvalidArgument(
+        StrFormat("K_%d does not fit in one cell (max K_%d)", k,
+                  MaxK(graph.shore())));
+  }
+  // Working shore indices of this cell.
+  std::vector<int> left;
+  std::vector<int> right;
+  for (int i = 0; i < graph.shore(); ++i) {
+    if (graph.IsWorking(graph.IdOf(row, col, 0, i))) left.push_back(i);
+    if (graph.IsWorking(graph.IdOf(row, col, 1, i))) right.push_back(i);
+  }
+
+  std::vector<Chain> chains;
+  if (k == 1) {
+    if (left.empty() && right.empty()) {
+      return Status::ResourceExhausted(
+          StrFormat("cell (%d,%d) has no working qubit", row, col));
+    }
+    Chain chain;
+    chain.qubits.push_back(left.empty() ? graph.IdOf(row, col, 1, right[0])
+                                        : graph.IdOf(row, col, 0, left[0]));
+    chains.push_back(std::move(chain));
+    return chains;
+  }
+  // Roles: one single-qubit chain per shore, plus k-2 two-qubit
+  // (left, right) pair chains. Any pairing works: K_{L,L} couples every
+  // left to every right.
+  int need = k - 1;
+  if (static_cast<int>(left.size()) < need ||
+      static_cast<int>(right.size()) < need) {
+    return Status::ResourceExhausted(StrFormat(
+        "cell (%d,%d) has %zu/%zu working left/right qubits; K_%d needs "
+        "%d per shore",
+        row, col, left.size(), right.size(), k, need));
+  }
+  {
+    Chain chain;
+    chain.qubits.push_back(graph.IdOf(row, col, 0, left[0]));
+    chains.push_back(std::move(chain));
+  }
+  {
+    Chain chain;
+    chain.qubits.push_back(graph.IdOf(row, col, 1, right[0]));
+    chains.push_back(std::move(chain));
+  }
+  for (int i = 0; i < k - 2; ++i) {
+    Chain chain;
+    chain.qubits.push_back(
+        graph.IdOf(row, col, 0, left[static_cast<size_t>(1 + i)]));
+    chain.qubits.push_back(
+        graph.IdOf(row, col, 1, right[static_cast<size_t>(1 + i)]));
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace embedding
+}  // namespace qmqo

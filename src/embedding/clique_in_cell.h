@@ -1,0 +1,46 @@
+#ifndef QMQO_EMBEDDING_CLIQUE_IN_CELL_H_
+#define QMQO_EMBEDDING_CLIQUE_IN_CELL_H_
+
+/// \file clique_in_cell.h
+/// Minimal-qubit clique embeddings inside a single Chimera unit cell.
+///
+/// A unit cell is a K_{L,L}; contracting qubit pairs yields small cliques
+/// with far fewer qubits than a TRIAD block:
+///
+///   K_2: {left_0}, {right_0}                           (2 qubits)
+///   K_3: {left_0}, {right_0}, {left_1, right_1}        (4 qubits)
+///   K_4: ... + {left_2, right_2}                       (6 qubits)
+///   K_5: ... + {left_3, right_3}                       (8 qubits)
+///
+/// i.e. K_k costs 2k-2 qubits for 2 <= k <= L+1. These are the layouts
+/// behind the paper's four experiment classes: 2/3/4/5 plans per query cost
+/// 1.0 / 1.33 / 1.5 / 1.6 qubits per variable.
+///
+/// The embedder is defect-aware: roles are assigned to whichever shore
+/// indices are still working, since any left qubit couples to any right
+/// qubit within the cell.
+
+#include "embedding/embedding.h"
+
+namespace qmqo {
+namespace embedding {
+
+/// Embeds small cliques into single unit cells.
+class CliqueInCellEmbedder {
+ public:
+  /// Largest clique a single cell can host.
+  static int MaxK(int shore) { return shore + 1; }
+
+  /// Qubits consumed by K_k in an intact cell (k >= 1).
+  static int QubitsNeeded(int k) { return k == 1 ? 1 : 2 * k - 2; }
+
+  /// Embeds K_k in cell (row, col). Fails when the cell's defects leave too
+  /// few working qubits on either shore.
+  static Result<std::vector<Chain>> EmbedInCell(
+      int k, int row, int col, const chimera::ChimeraGraph& graph);
+};
+
+}  // namespace embedding
+}  // namespace qmqo
+
+#endif  // QMQO_EMBEDDING_CLIQUE_IN_CELL_H_

@@ -1,0 +1,244 @@
+#include "embedding/clustered.h"
+
+#include <algorithm>
+
+#include "embedding/clique_in_cell.h"
+#include "embedding/triad.h"
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace embedding {
+
+Result<Embedding> ClusteredEmbedder::Embed(
+    const std::vector<int>& cluster_sizes,
+    const chimera::ChimeraGraph& graph) {
+  int total_vars = 0;
+  for (int size : cluster_sizes) {
+    if (size <= 0) {
+      return Status::InvalidArgument("cluster sizes must be positive");
+    }
+    total_vars += size;
+  }
+  Embedding embedding(total_vars);
+
+  // Per-cell free shore indices; a small clique consumes k-1 indices per
+  // shore, so several small clusters can share one cell (e.g. two K_3
+  // regions per cell — how 253 three-plan queries fit on a 12x12 chip).
+  struct CellState {
+    std::vector<int> free_left;
+    std::vector<int> free_right;
+  };
+  std::vector<CellState> cells(static_cast<size_t>(graph.num_cells()));
+  for (int r = 0; r < graph.rows(); ++r) {
+    for (int c = 0; c < graph.cols(); ++c) {
+      CellState& cell = cells[static_cast<size_t>(r * graph.cols() + c)];
+      for (int i = 0; i < graph.shore(); ++i) {
+        if (graph.IsWorking(graph.IdOf(r, c, 0, i))) {
+          cell.free_left.push_back(i);
+        }
+        if (graph.IsWorking(graph.IdOf(r, c, 1, i))) {
+          cell.free_right.push_back(i);
+        }
+      }
+    }
+  }
+  auto cell_state = [&](int r, int c) -> CellState& {
+    return cells[static_cast<size_t>(r * graph.cols() + c)];
+  };
+  auto cell_used = [&](int r, int c) {
+    const CellState& cell = cell_state(r, c);
+    return cell.free_left.size() + cell.free_right.size() <
+           2 * static_cast<size_t>(graph.shore());
+  };
+
+  int var_base = 0;
+  for (size_t cluster = 0; cluster < cluster_sizes.size(); ++cluster) {
+    int size = cluster_sizes[cluster];
+    bool placed = false;
+    if (size <= CliqueInCellEmbedder::MaxK(graph.shore())) {
+      // First-fit over cells with enough free indices on both shores.
+      int need = size - 1;  // single-qubit K_1 handled below
+      for (int r = 0; r < graph.rows() && !placed; ++r) {
+        for (int c = 0; c < graph.cols() && !placed; ++c) {
+          CellState& cell = cell_state(r, c);
+          if (size == 1) {
+            if (cell.free_left.empty() && cell.free_right.empty()) continue;
+            Chain chain;
+            if (!cell.free_left.empty()) {
+              chain.qubits.push_back(graph.IdOf(r, c, 0, cell.free_left[0]));
+              cell.free_left.erase(cell.free_left.begin());
+            } else {
+              chain.qubits.push_back(graph.IdOf(r, c, 1, cell.free_right[0]));
+              cell.free_right.erase(cell.free_right.begin());
+            }
+            embedding.SetChain(var_base, std::move(chain));
+            placed = true;
+            break;
+          }
+          if (static_cast<int>(cell.free_left.size()) < need ||
+              static_cast<int>(cell.free_right.size()) < need) {
+            continue;
+          }
+          // Roles: {L_a}, {R_b}, then (L, R) pairs — any free indices work
+          // because the cell is a complete bipartite coupler graph.
+          {
+            Chain chain;
+            chain.qubits.push_back(graph.IdOf(r, c, 0, cell.free_left[0]));
+            embedding.SetChain(var_base, std::move(chain));
+          }
+          {
+            Chain chain;
+            chain.qubits.push_back(graph.IdOf(r, c, 1, cell.free_right[0]));
+            embedding.SetChain(var_base + 1, std::move(chain));
+          }
+          for (int i = 0; i < size - 2; ++i) {
+            Chain chain;
+            chain.qubits.push_back(
+                graph.IdOf(r, c, 0, cell.free_left[static_cast<size_t>(1 + i)]));
+            chain.qubits.push_back(graph.IdOf(
+                r, c, 1, cell.free_right[static_cast<size_t>(1 + i)]));
+            embedding.SetChain(var_base + 2 + i, std::move(chain));
+          }
+          cell.free_left.erase(cell.free_left.begin(),
+                               cell.free_left.begin() + need);
+          cell.free_right.erase(cell.free_right.begin(),
+                                cell.free_right.begin() + need);
+          placed = true;
+        }
+      }
+    } else {
+      // TRIAD block region: first free m x m block with enough intact
+      // chains.
+      int m = TriadEmbedder::BlockSize(size, graph.shore());
+      for (int r = 0; r + m <= graph.rows() && !placed; ++r) {
+        for (int c = 0; c + m <= graph.cols() && !placed; ++c) {
+          bool free_block = true;
+          for (int dr = 0; dr < m && free_block; ++dr) {
+            for (int dc = 0; dc < m && free_block; ++dc) {
+              if (cell_used(r + dr, c + dc)) free_block = false;
+            }
+          }
+          if (!free_block) continue;
+          TriadOptions options;
+          options.origin_row = r;
+          options.origin_col = c;
+          auto block = TriadEmbedder::Embed(size, graph, options);
+          if (!block.ok()) continue;
+          for (int v = 0; v < size; ++v) {
+            embedding.SetChain(var_base + v, block->chain(v));
+          }
+          // The whole block is consumed, including unused spare chains.
+          for (int dr = 0; dr < m; ++dr) {
+            for (int dc = 0; dc < m; ++dc) {
+              cell_state(r + dr, c + dc).free_left.clear();
+              cell_state(r + dr, c + dc).free_right.clear();
+            }
+          }
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {
+      return Status::ResourceExhausted(StrFormat(
+          "no remaining region can host cluster %zu (%d variables); placed "
+          "%zu of %zu clusters",
+          cluster, size, cluster, cluster_sizes.size()));
+    }
+    var_base += size;
+  }
+  return embedding;
+}
+
+std::vector<std::pair<chimera::QubitId, chimera::QubitId>>
+PairMatchingEmbedder::MatchPairs(const chimera::ChimeraGraph& graph) {
+  // match[q] = partner qubit, or -1.
+  std::vector<chimera::QubitId> match(static_cast<size_t>(graph.num_qubits()),
+                                      -1);
+  auto matched = [&](chimera::QubitId q) {
+    return match[static_cast<size_t>(q)] != -1;
+  };
+  // Pass 1: intra-cell couplers, pairing working left/right shore qubits.
+  for (int r = 0; r < graph.rows(); ++r) {
+    for (int c = 0; c < graph.cols(); ++c) {
+      std::vector<chimera::QubitId> left;
+      std::vector<chimera::QubitId> right;
+      for (int i = 0; i < graph.shore(); ++i) {
+        chimera::QubitId lq = graph.IdOf(r, c, 0, i);
+        chimera::QubitId rq = graph.IdOf(r, c, 1, i);
+        if (graph.IsWorking(lq)) left.push_back(lq);
+        if (graph.IsWorking(rq)) right.push_back(rq);
+      }
+      size_t count = std::min(left.size(), right.size());
+      for (size_t i = 0; i < count; ++i) {
+        match[static_cast<size_t>(left[i])] = right[i];
+        match[static_cast<size_t>(right[i])] = left[i];
+      }
+    }
+  }
+  // Pass 2: greedy over the remaining (inter-cell) couplers.
+  for (chimera::QubitId q = 0; q < graph.num_qubits(); ++q) {
+    if (matched(q) || graph.IsBroken(q)) continue;
+    for (chimera::QubitId n : graph.Neighbors(q)) {
+      if (n <= q) continue;
+      if (matched(n) || graph.IsBroken(n)) continue;
+      match[static_cast<size_t>(q)] = n;
+      match[static_cast<size_t>(n)] = q;
+      break;
+    }
+  }
+  // Pass 3: length-3 augmenting paths — unmatched u, matched edge (v, w),
+  // unmatched x with couplers u-v and w-x. Re-matching to (u,v), (w,x)
+  // gains one pair. Iterate to a fixed point.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (chimera::QubitId u = 0; u < graph.num_qubits(); ++u) {
+      if (matched(u) || graph.IsBroken(u)) continue;
+      bool augmented = false;
+      for (chimera::QubitId v : graph.Neighbors(u)) {
+        if (graph.IsBroken(v) || !matched(v)) continue;
+        chimera::QubitId w = match[static_cast<size_t>(v)];
+        for (chimera::QubitId x : graph.Neighbors(w)) {
+          if (x == u || x == v || graph.IsBroken(x) || matched(x)) continue;
+          match[static_cast<size_t>(u)] = v;
+          match[static_cast<size_t>(v)] = u;
+          match[static_cast<size_t>(w)] = x;
+          match[static_cast<size_t>(x)] = w;
+          augmented = true;
+          improved = true;
+          break;
+        }
+        if (augmented) break;
+      }
+    }
+  }
+  std::vector<std::pair<chimera::QubitId, chimera::QubitId>> pairs;
+  for (chimera::QubitId q = 0; q < graph.num_qubits(); ++q) {
+    chimera::QubitId partner = match[static_cast<size_t>(q)];
+    if (partner > q) pairs.emplace_back(q, partner);
+  }
+  return pairs;
+}
+
+Result<Embedding> PairMatchingEmbedder::Embed(
+    int num_queries, const chimera::ChimeraGraph& graph) {
+  auto pairs = MatchPairs(graph);
+  if (static_cast<int>(pairs.size()) < num_queries) {
+    return Status::ResourceExhausted(
+        StrFormat("matching hosts %zu two-plan queries, %d requested",
+                  pairs.size(), num_queries));
+  }
+  Embedding embedding(2 * num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    Chain plan_a;
+    plan_a.qubits.push_back(pairs[static_cast<size_t>(q)].first);
+    Chain plan_b;
+    plan_b.qubits.push_back(pairs[static_cast<size_t>(q)].second);
+    embedding.SetChain(2 * q, std::move(plan_a));
+    embedding.SetChain(2 * q + 1, std::move(plan_b));
+  }
+  return embedding;
+}
+
+}  // namespace embedding
+}  // namespace qmqo

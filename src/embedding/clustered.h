@@ -1,0 +1,65 @@
+#ifndef QMQO_EMBEDDING_CLUSTERED_H_
+#define QMQO_EMBEDDING_CLUSTERED_H_
+
+/// \file clustered.h
+/// The paper's clustered embedding (Section 5, Figure 3) plus the
+/// pair-matching layout used for 2-plan-per-query workloads.
+///
+/// Clustered embedding: instead of one global TRIAD (whose qubit count
+/// grows quadratically in the *total* variable count), each query cluster
+/// receives its own clique region — a single unit cell for clusters of at
+/// most shore+1 variables, a TRIAD block otherwise. All intra-cluster
+/// couplings are realizable; inter-cluster couplings only where adjacent
+/// regions happen to touch, which is exactly the sparsity the clustering
+/// promises. This is what makes the number of required qubits grow linearly
+/// in the number of clusters (Theorem 3 with fixed cluster size).
+///
+/// Pair matching: with two plans per query, a query needs only two
+/// single-qubit chains joined by any working coupler. A maximal matching on
+/// the working-coupler graph therefore hosts one query per matched edge —
+/// this is how 537 two-plan queries fit on 1097 working qubits (~1.02
+/// qubits per variable, the leftmost point of the paper's Figure 6).
+
+#include <utility>
+#include <vector>
+
+#include "embedding/embedding.h"
+
+namespace qmqo {
+namespace embedding {
+
+/// Embeds cluster-structured variable sets, one clique region per cluster.
+class ClusteredEmbedder {
+ public:
+  /// `cluster_sizes[c]` = number of logical variables in cluster c;
+  /// variables are numbered cluster-major (all of cluster 0 first, etc.).
+  /// Regions are packed row-major over the cell grid; fails when the grid
+  /// (minus defects) cannot host all clusters.
+  static Result<Embedding> Embed(const std::vector<int>& cluster_sizes,
+                                 const chimera::ChimeraGraph& graph);
+};
+
+/// Embeds n two-plan queries (2n single-qubit chains) on a maximal matching
+/// of the working-coupler graph.
+class PairMatchingEmbedder {
+ public:
+  /// Greedy maximal matching over usable couplers, intra-cell couplers
+  /// first (they leave the sparser inter-cell couplers free for savings).
+  static std::vector<std::pair<chimera::QubitId, chimera::QubitId>> MatchPairs(
+      const chimera::ChimeraGraph& graph);
+
+  /// Embedding for `num_queries` two-plan queries; variables 2q and 2q+1
+  /// are the two plans of query q. Fails when the matching is too small.
+  static Result<Embedding> Embed(int num_queries,
+                                 const chimera::ChimeraGraph& graph);
+
+  /// The number of two-plan queries the graph can host.
+  static int Capacity(const chimera::ChimeraGraph& graph) {
+    return static_cast<int>(MatchPairs(graph).size());
+  }
+};
+
+}  // namespace embedding
+}  // namespace qmqo
+
+#endif  // QMQO_EMBEDDING_CLUSTERED_H_

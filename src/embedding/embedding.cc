@@ -1,0 +1,148 @@
+#include "embedding/embedding.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace embedding {
+
+int Embedding::TotalQubits() const {
+  int total = 0;
+  for (const Chain& chain : chains_) total += chain.size();
+  return total;
+}
+
+int Embedding::MaxChainLength() const {
+  int best = 0;
+  for (const Chain& chain : chains_) best = std::max(best, chain.size());
+  return best;
+}
+
+double Embedding::MeanChainLength() const {
+  if (chains_.empty()) return 0.0;
+  return static_cast<double>(TotalQubits()) /
+         static_cast<double>(chains_.size());
+}
+
+std::vector<int> Embedding::QubitToVar(
+    const chimera::ChimeraGraph& graph) const {
+  std::vector<int> owner(static_cast<size_t>(graph.num_qubits()), -1);
+  for (int var = 0; var < num_vars(); ++var) {
+    for (chimera::QubitId q : chains_[static_cast<size_t>(var)].qubits) {
+      owner[static_cast<size_t>(q)] = var;
+    }
+  }
+  return owner;
+}
+
+Status Embedding::VerifyStructure(const chimera::ChimeraGraph& graph) const {
+  std::vector<int> owner(static_cast<size_t>(graph.num_qubits()), -1);
+  for (int var = 0; var < num_vars(); ++var) {
+    const Chain& chain = chains_[static_cast<size_t>(var)];
+    if (chain.qubits.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("variable %d has an empty chain", var));
+    }
+    for (chimera::QubitId q : chain.qubits) {
+      if (q < 0 || q >= graph.num_qubits()) {
+        return Status::OutOfRange(
+            StrFormat("variable %d references qubit %d", var, q));
+      }
+      if (graph.IsBroken(q)) {
+        return Status::FailedPrecondition(
+            StrFormat("variable %d uses broken qubit %d", var, q));
+      }
+      if (owner[static_cast<size_t>(q)] != -1) {
+        return Status::FailedPrecondition(
+            StrFormat("qubit %d used by variables %d and %d", q,
+                      owner[static_cast<size_t>(q)], var));
+      }
+      owner[static_cast<size_t>(q)] = var;
+    }
+    // Connectivity: BFS within the chain over usable couplers.
+    std::deque<chimera::QubitId> frontier{chain.qubits.front()};
+    std::vector<chimera::QubitId> seen{chain.qubits.front()};
+    while (!frontier.empty()) {
+      chimera::QubitId q = frontier.front();
+      frontier.pop_front();
+      for (chimera::QubitId n : graph.Neighbors(q)) {
+        if (owner[static_cast<size_t>(n)] != var) continue;
+        if (graph.IsBroken(n)) continue;
+        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
+        seen.push_back(n);
+        frontier.push_back(n);
+      }
+    }
+    if (static_cast<int>(seen.size()) != chain.size()) {
+      return Status::FailedPrecondition(
+          StrFormat("chain of variable %d is disconnected (%zu of %d qubits "
+                    "reachable)",
+                    var, seen.size(), chain.size()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Embedding::VerifyForProblem(const chimera::ChimeraGraph& graph,
+                                   const qubo::QuboProblem& logical) const {
+  if (logical.num_vars() != num_vars()) {
+    return Status::InvalidArgument(
+        StrFormat("embedding has %d chains, problem has %d variables",
+                  num_vars(), logical.num_vars()));
+  }
+  QMQO_RETURN_IF_ERROR(VerifyStructure(graph));
+  std::vector<int> owner = QubitToVar(graph);
+  for (const qubo::Interaction& term : logical.interactions()) {
+    if (term.weight == 0.0) continue;
+    bool found = false;
+    for (chimera::QubitId qa : chain(term.i).qubits) {
+      for (chimera::QubitId n : graph.Neighbors(qa)) {
+        if (owner[static_cast<size_t>(n)] == term.j &&
+            graph.CouplerUsable(qa, n)) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found) {
+      return Status::FailedPrecondition(
+          StrFormat("no usable coupler between chains of variables %d and %d",
+                    term.i, term.j));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Embedding::Summary() const {
+  return StrFormat(
+      "Embedding(%d vars, %d qubits, mean chain %.2f, max chain %d)",
+      num_vars(), TotalQubits(), MeanChainLength(), MaxChainLength());
+}
+
+std::vector<ChainCoupler> CrossChainCouplers(
+    const Embedding& embedding, const chimera::ChimeraGraph& graph) {
+  std::vector<int> owner = embedding.QubitToVar(graph);
+  std::vector<ChainCoupler> out;
+  for (chimera::QubitId q = 0; q < graph.num_qubits(); ++q) {
+    int var_q = owner[static_cast<size_t>(q)];
+    if (var_q < 0 || graph.IsBroken(q)) continue;
+    for (chimera::QubitId n : graph.Neighbors(q)) {
+      if (n <= q) continue;  // each coupler once
+      int var_n = owner[static_cast<size_t>(n)];
+      if (var_n < 0 || var_n == var_q || graph.IsBroken(n)) continue;
+      ChainCoupler coupler;
+      coupler.var_a = std::min(var_q, var_n);
+      coupler.var_b = std::max(var_q, var_n);
+      coupler.qubit_a = var_q < var_n ? q : n;
+      coupler.qubit_b = var_q < var_n ? n : q;
+      out.push_back(coupler);
+    }
+  }
+  return out;
+}
+
+}  // namespace embedding
+}  // namespace qmqo

@@ -1,0 +1,90 @@
+#ifndef QMQO_EMBEDDING_EMBEDDING_H_
+#define QMQO_EMBEDDING_EMBEDDING_H_
+
+/// \file embedding.h
+/// Minor embeddings: the assignment of logical QUBO variables to chains of
+/// physical qubits (Section 5 of the paper).
+///
+/// An embedding is valid for a hardware graph when every chain consists of
+/// distinct working qubits and induces a connected subgraph, and chains are
+/// pairwise disjoint. It is valid for a *logical problem* when additionally
+/// every quadratic term of the problem can be realized by at least one
+/// coupler between the two chains involved.
+
+#include <string>
+#include <vector>
+
+#include "chimera/topology.h"
+#include "qubo/qubo.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace embedding {
+
+/// The qubits representing one logical variable. When the chain is a path,
+/// qubits should be stored in path order; general connected chains are
+/// allowed (a spanning tree is used for the chain couplings).
+struct Chain {
+  std::vector<chimera::QubitId> qubits;
+
+  int size() const { return static_cast<int>(qubits.size()); }
+};
+
+/// A full logical-variable -> chain map.
+class Embedding {
+ public:
+  /// Creates an embedding with `num_vars` empty chains.
+  explicit Embedding(int num_vars) : chains_(static_cast<size_t>(num_vars)) {}
+
+  int num_vars() const { return static_cast<int>(chains_.size()); }
+
+  void SetChain(int var, Chain chain) {
+    chains_[static_cast<size_t>(var)] = std::move(chain);
+  }
+
+  const Chain& chain(int var) const { return chains_[static_cast<size_t>(var)]; }
+
+  /// Total number of physical qubits consumed.
+  int TotalQubits() const;
+
+  int MaxChainLength() const;
+  double MeanChainLength() const;
+
+  /// Maps each qubit id to the variable whose chain contains it (-1 when
+  /// unused). Size = graph.num_qubits().
+  std::vector<int> QubitToVar(const chimera::ChimeraGraph& graph) const;
+
+  /// Validates chains against the hardware only: distinct working qubits,
+  /// pairwise-disjoint chains, each chain connected via couplers.
+  Status VerifyStructure(const chimera::ChimeraGraph& graph) const;
+
+  /// `VerifyStructure` plus: every quadratic term of `logical` has at least
+  /// one usable coupler between the two chains.
+  Status VerifyForProblem(const chimera::ChimeraGraph& graph,
+                          const qubo::QuboProblem& logical) const;
+
+  /// One-line summary with chain-length statistics.
+  std::string Summary() const;
+
+ private:
+  std::vector<Chain> chains_;
+};
+
+/// A usable coupler joining chains of two different variables.
+struct ChainCoupler {
+  int var_a = -1;
+  int var_b = -1;
+  chimera::QubitId qubit_a = -1;
+  chimera::QubitId qubit_b = -1;
+};
+
+/// Enumerates all usable couplers between chains of distinct variables.
+/// This is how the paper-style workload generator decides which plan pairs
+/// may share work ("test cases that map well to the quantum annealer").
+std::vector<ChainCoupler> CrossChainCouplers(
+    const Embedding& embedding, const chimera::ChimeraGraph& graph);
+
+}  // namespace embedding
+}  // namespace qmqo
+
+#endif  // QMQO_EMBEDDING_EMBEDDING_H_

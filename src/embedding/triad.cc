@@ -1,0 +1,104 @@
+#include "embedding/triad.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace embedding {
+namespace {
+
+/// Builds the candidate chain of TRIAD variable (a, b) at block origin
+/// (r0, c0); returns an empty chain if any qubit is broken.
+Chain BuildChain(const chimera::ChimeraGraph& graph, int r0, int c0, int m,
+                 int a, int b) {
+  Chain chain;
+  chain.qubits.reserve(static_cast<size_t>(m + 1));
+  // Horizontal leg in path order: (a, 0) .. (a, a), right shore.
+  for (int c = 0; c <= a; ++c) {
+    chimera::QubitId q = graph.IdOf(r0 + a, c0 + c, 1, b);
+    if (graph.IsBroken(q)) return Chain{};
+    chain.qubits.push_back(q);
+  }
+  // Vertical leg: (a, a) .. (m-1, a), left shore. The first vertical qubit
+  // shares cell (a, a) with the last horizontal qubit (intra-cell coupler).
+  for (int r = a; r < m; ++r) {
+    chimera::QubitId q = graph.IdOf(r0 + r, c0 + a, 0, b);
+    if (graph.IsBroken(q)) return Chain{};
+    chain.qubits.push_back(q);
+  }
+  return chain;
+}
+
+}  // namespace
+
+int TriadEmbedder::BlockSize(int num_vars, int shore) {
+  return (num_vars + shore - 1) / shore;
+}
+
+int TriadEmbedder::QubitsNeeded(int num_vars, int shore) {
+  return num_vars * (BlockSize(num_vars, shore) + 1);
+}
+
+int TriadEmbedder::MaxCliqueSize(int rows, int cols, int shore) {
+  return std::min(rows, cols) * shore;
+}
+
+Result<Embedding> TriadEmbedder::Embed(int num_vars,
+                                       const chimera::ChimeraGraph& graph,
+                                       const TriadOptions& options) {
+  if (num_vars <= 0) {
+    return Status::InvalidArgument("num_vars must be positive");
+  }
+  const int shore = graph.shore();
+  const int m = BlockSize(num_vars, shore);
+  if (m > graph.rows() || m > graph.cols()) {
+    return Status::ResourceExhausted(StrFormat(
+        "K_%d needs a %dx%d cell block; graph is %dx%d cells", num_vars, m, m,
+        graph.rows(), graph.cols()));
+  }
+
+  int best_intact = -1;
+  Embedding best(num_vars);
+  const int r_lo = options.origin_row >= 0 ? options.origin_row : 0;
+  const int r_hi =
+      options.origin_row >= 0 ? options.origin_row : graph.rows() - m;
+  const int c_lo = options.origin_col >= 0 ? options.origin_col : 0;
+  const int c_hi =
+      options.origin_col >= 0 ? options.origin_col : graph.cols() - m;
+  for (int r0 = r_lo; r0 <= r_hi; ++r0) {
+    for (int c0 = c_lo; c0 <= c_hi; ++c0) {
+      if (r0 + m > graph.rows() || c0 + m > graph.cols()) continue;
+      // Collect intact chains at this placement.
+      std::vector<Chain> intact;
+      for (int a = 0; a < m && static_cast<int>(intact.size()) < num_vars;
+           ++a) {
+        for (int b = 0; b < shore; ++b) {
+          Chain chain = BuildChain(graph, r0, c0, m, a, b);
+          if (!chain.qubits.empty()) {
+            intact.push_back(std::move(chain));
+            if (static_cast<int>(intact.size()) == num_vars) break;
+          }
+        }
+      }
+      if (static_cast<int>(intact.size()) > best_intact) {
+        best_intact = static_cast<int>(intact.size());
+        Embedding embedding(num_vars);
+        for (int v = 0; v < static_cast<int>(intact.size()) && v < num_vars;
+             ++v) {
+          embedding.SetChain(v, intact[static_cast<size_t>(v)]);
+        }
+        best = std::move(embedding);
+        if (best_intact >= num_vars) {
+          return best;
+        }
+      }
+    }
+  }
+  return Status::ResourceExhausted(StrFormat(
+      "best placement provides only %d of %d intact TRIAD chains",
+      std::max(best_intact, 0), num_vars));
+}
+
+}  // namespace embedding
+}  // namespace qmqo

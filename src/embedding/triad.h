@@ -1,0 +1,58 @@
+#ifndef QMQO_EMBEDDING_TRIAD_H_
+#define QMQO_EMBEDDING_TRIAD_H_
+
+/// \file triad.h
+/// Choi's TRIAD pattern (Figure 2 of the paper): a complete-graph minor on
+/// the Chimera topology, so *arbitrary* QUBO problems of bounded size can be
+/// embedded.
+///
+/// For a clique K_n with shore size L, the pattern occupies an M x M block
+/// of cells, M = ceil(n / L). The chain of variable v = L*a + b is L-shaped:
+///
+///   horizontal leg: right-shore qubit b of cells (a, 0..a)
+///   vertical leg:   left-shore qubit b of cells (a..M-1, a)
+///
+/// joined in the diagonal cell (a, a) by an intra-cell coupler. Chains of
+/// variables with block rows a < a' meet in cell (a', a) through an
+/// intra-cell coupler, so all pairs are connected. Each chain has exactly
+/// M + 1 qubits, giving the Theta(n^2 / L) qubit growth of Theorem 3.
+///
+/// Chains that contain broken qubits are unusable (Figure 2d); the embedder
+/// searches all placements of the M x M block and uses any `n` intact
+/// chains, failing only when no placement offers enough.
+
+#include "embedding/embedding.h"
+
+namespace qmqo {
+namespace embedding {
+
+/// Options for `TriadEmbedder::Embed`.
+struct TriadOptions {
+  /// Fixed placement of the block's top-left cell; -1 searches all offsets.
+  int origin_row = -1;
+  int origin_col = -1;
+};
+
+/// Embeds complete graphs via the TRIAD pattern.
+class TriadEmbedder {
+ public:
+  /// Embeds K_`num_vars`. Fails when no placement yields enough intact
+  /// chains.
+  static Result<Embedding> Embed(int num_vars,
+                                 const chimera::ChimeraGraph& graph,
+                                 const TriadOptions& options = TriadOptions());
+
+  /// Number of cells per side of the block for K_n.
+  static int BlockSize(int num_vars, int shore);
+
+  /// Qubits consumed by an intact K_n TRIAD: n * (BlockSize + 1).
+  static int QubitsNeeded(int num_vars, int shore);
+
+  /// Largest clique embeddable on an intact rows x cols x shore graph.
+  static int MaxCliqueSize(int rows, int cols, int shore);
+};
+
+}  // namespace embedding
+}  // namespace qmqo
+
+#endif  // QMQO_EMBEDDING_TRIAD_H_

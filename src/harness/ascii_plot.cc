@@ -1,0 +1,79 @@
+#include "harness/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace harness {
+
+std::string RenderCostVsTime(const std::vector<PlotSeries>& series,
+                             const PlotOptions& options) {
+  const int w = std::max(16, options.width);
+  const int h = std::max(6, options.height);
+  const double log_lo = std::log10(options.min_time_ms);
+  const double log_hi = std::log10(options.max_time_ms);
+
+  // Cost range.
+  double cost_lo = options.min_cost;
+  double cost_hi = options.max_cost;
+  if (cost_lo == cost_hi) {
+    cost_lo = std::numeric_limits<double>::infinity();
+    cost_hi = -std::numeric_limits<double>::infinity();
+    for (const PlotSeries& s : series) {
+      for (const TrajectoryPoint& point : s.trajectory->points()) {
+        cost_lo = std::min(cost_lo, point.cost);
+        cost_hi = std::max(cost_hi, point.cost);
+      }
+    }
+    if (!std::isfinite(cost_lo)) {
+      cost_lo = 0.0;
+      cost_hi = 1.0;
+    }
+    if (cost_hi - cost_lo < 1e-12) cost_hi = cost_lo + 1.0;
+    double pad = 0.05 * (cost_hi - cost_lo);
+    cost_lo -= pad;
+    cost_hi += pad;
+  }
+
+  std::vector<std::string> canvas(static_cast<size_t>(h),
+                                  std::string(static_cast<size_t>(w), ' '));
+  const std::string glyph_pool = "QMUCgGXZ*+o#";
+  std::string legend;
+  for (size_t si = 0; si < series.size(); ++si) {
+    char glyph = glyph_pool[si % glyph_pool.size()];
+    const Trajectory* trajectory = series[si].trajectory;
+    if (!legend.empty()) legend += "   ";
+    legend += StrFormat("%c=%s", glyph, series[si].name.c_str());
+    for (int col = 0; col < w; ++col) {
+      double t = std::pow(
+          10.0, log_lo + (log_hi - log_lo) * col / std::max(1, w - 1));
+      double cost = trajectory->CostAt(t);
+      if (!std::isfinite(cost)) continue;
+      double frac = (cost - cost_lo) / (cost_hi - cost_lo);
+      int row = static_cast<int>((1.0 - frac) * (h - 1) + 0.5);
+      row = std::clamp(row, 0, h - 1);
+      canvas[static_cast<size_t>(row)][static_cast<size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += StrFormat("cost %10.1f +", cost_hi);
+  out += std::string(static_cast<size_t>(w), '-') + "+\n";
+  for (int row = 0; row < h; ++row) {
+    out += "                |";
+    out += canvas[static_cast<size_t>(row)];
+    out += "|\n";
+  }
+  out += StrFormat("cost %10.1f +", cost_lo);
+  out += std::string(static_cast<size_t>(w), '-') + "+\n";
+  out += StrFormat("                 time (log): %.2g ms .. %.2g ms\n",
+                   options.min_time_ms, options.max_time_ms);
+  out += "                 " + legend + "\n";
+  return out;
+}
+
+}  // namespace harness
+}  // namespace qmqo

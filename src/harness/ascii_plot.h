@@ -1,0 +1,44 @@
+#ifndef QMQO_HARNESS_ASCII_PLOT_H_
+#define QMQO_HARNESS_ASCII_PLOT_H_
+
+/// \file ascii_plot.h
+/// Terminal rendering of cost-vs-time staircases (log time axis), so bench
+/// binaries can reproduce the *shape* of the paper's Figures 4-5 directly
+/// in their output.
+
+#include <string>
+#include <vector>
+
+#include "harness/trajectory.h"
+
+namespace qmqo {
+namespace harness {
+
+/// One plotted series.
+struct PlotSeries {
+  std::string name;
+  const Trajectory* trajectory = nullptr;
+};
+
+/// Options of the plot.
+struct PlotOptions {
+  int width = 72;
+  int height = 18;
+  /// Log-spaced time axis from min_time_ms to max_time_ms.
+  double min_time_ms = 0.1;
+  double max_time_ms = 100000.0;
+  /// Cost axis range; when min == max, auto-scale from the data.
+  double min_cost = 0.0;
+  double max_cost = 0.0;
+};
+
+/// Renders the plot. Series are drawn with the glyphs 'Q', 'M', 'U', 'C',
+/// 'g', 'G', ... (the first letter of the name when unique, otherwise a
+/// rotating pool); a legend line follows the canvas.
+std::string RenderCostVsTime(const std::vector<PlotSeries>& series,
+                             const PlotOptions& options);
+
+}  // namespace harness
+}  // namespace qmqo
+
+#endif  // QMQO_HARNESS_ASCII_PLOT_H_

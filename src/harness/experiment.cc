@@ -1,0 +1,189 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/genetic.h"
+#include "baselines/hill_climbing.h"
+#include "mapping/logical_mapping.h"
+#include "solver/mqo_bnb.h"
+#include "solver/qubo_bnb.h"
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace harness {
+namespace {
+
+double ScaleBase(const mqo::MqoProblem& problem) {
+  double base = 0.0;
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    double worst = 0.0;
+    for (int k = 0; k < problem.num_plans_of(q); ++k) {
+      worst = std::max(worst, problem.plan_cost(problem.first_plan(q) + k));
+    }
+    base += worst;
+  }
+  return base;
+}
+
+}  // namespace
+
+Result<ClassResult> RunExperimentClass(const ExperimentConfig& config,
+                                       const chimera::ChimeraGraph& graph) {
+  ClassResult result;
+  result.config = config;
+  Rng master(config.seed);
+
+  for (int instance_id = 0; instance_id < config.num_instances;
+       ++instance_id) {
+    Rng instance_rng = master.Fork(static_cast<uint64_t>(instance_id));
+    QMQO_ASSIGN_OR_RETURN(
+        PaperInstance instance,
+        GeneratePaperInstance(graph, config.workload, &instance_rng));
+    result.actual_num_queries = instance.num_queries;
+
+    InstanceRun run;
+    run.scale_base = ScaleBase(instance.problem);
+    run.logical_vars = instance.problem.num_plans();
+
+    // --- Quantum annealer (Algorithm 1 on the simulated device). ---
+    {
+      QuantumMqoOptions quantum = config.quantum;
+      quantum.device.seed = instance_rng.Next();
+      QMQO_ASSIGN_OR_RETURN(
+          QuantumMqoResult qa,
+          SolveQuantumMqo(instance.problem, instance.embedding, graph,
+                          quantum));
+      AlgorithmSeries series;
+      series.name = "QA";
+      series.trajectory = qa.cost_vs_device_time;
+      series.device_time_axis = true;
+      run.series.push_back(std::move(series));
+      run.qa_first_read_cost = qa.first_read_cost;
+      run.qa_final_cost = qa.best_cost;
+      run.preprocessing_ms = qa.preprocessing_ms;
+      run.qa_read_ms = (quantum.device.anneal_time_us +
+                        quantum.device.readout_time_us) /
+                       1000.0;
+      run.physical_qubits = qa.physical_qubits;
+    }
+
+    // --- LIN-MQO: exact branch and bound on the native model. ---
+    {
+      solver::MqoBnbOptions options;
+      options.time_limit_ms = config.classical_time_limit_ms;
+      solver::MqoBranchAndBound bnb(options);
+      AlgorithmSeries series;
+      series.name = "LIN-MQO";
+      QMQO_ASSIGN_OR_RETURN(
+          solver::MqoBnbResult bnb_result,
+          bnb.Solve(instance.problem,
+                    [&](double ms, double cost, const mqo::MqoSolution&) {
+                      series.trajectory.Record(ms, cost);
+                    }));
+      run.series.push_back(std::move(series));
+      run.optimum_proven = bnb_result.proven_optimal;
+      run.lin_mqo_proof_ms = bnb_result.total_time_ms;
+      run.lin_mqo_proof_capped = !bnb_result.proven_optimal;
+    }
+
+    // --- LIN-QUB: exact branch and bound on the QUBO reformulation. ---
+    if (config.run_lin_qub) {
+      QMQO_ASSIGN_OR_RETURN(
+          mapping::LogicalMapping logical,
+          mapping::LogicalMapping::Create(instance.problem));
+      solver::QuboBnbOptions options;
+      options.time_limit_ms = config.classical_time_limit_ms;
+      solver::QuboBranchAndBound bnb(options);
+      AlgorithmSeries series;
+      series.name = "LIN-QUB";
+      QMQO_ASSIGN_OR_RETURN(
+          solver::QuboBnbResult bnb_result,
+          bnb.Solve(logical.qubo(), [&](double ms, double energy,
+                                        const std::vector<uint8_t>& x) {
+            // Report MQO cost, not QUBO energy, so series are comparable.
+            (void)energy;
+            mqo::MqoSolution solution = logical.RepairedSolution(x);
+            series.trajectory.Record(
+                ms, mqo::EvaluateCost(instance.problem, solution));
+          }));
+      (void)bnb_result;
+      run.series.push_back(std::move(series));
+    }
+
+    // --- CLIMB. ---
+    {
+      baselines::IteratedHillClimbing climb;
+      baselines::OptimizerBudget budget;
+      budget.time_limit_ms = config.classical_time_limit_ms;
+      Rng rng = instance_rng.Fork(1001);
+      AlgorithmSeries series;
+      series.name = "CLIMB";
+      QMQO_ASSIGN_OR_RETURN(
+          mqo::MqoSolution ignored,
+          climb.Optimize(instance.problem, budget, &rng,
+                         [&](double ms, double cost, const mqo::MqoSolution&) {
+                           series.trajectory.Record(ms, cost);
+                         }));
+      (void)ignored;
+      run.series.push_back(std::move(series));
+    }
+
+    // --- GA(population) for each configured size. ---
+    for (int population : config.ga_populations) {
+      baselines::GeneticOptions options;
+      options.population_size = population;
+      baselines::GeneticAlgorithm ga(options);
+      baselines::OptimizerBudget budget;
+      budget.time_limit_ms = config.classical_time_limit_ms;
+      Rng rng = instance_rng.Fork(2000 + static_cast<uint64_t>(population));
+      AlgorithmSeries series;
+      series.name = ga.name();
+      QMQO_ASSIGN_OR_RETURN(
+          mqo::MqoSolution ignored,
+          ga.Optimize(instance.problem, budget, &rng,
+                      [&](double ms, double cost, const mqo::MqoSolution&) {
+                        series.trajectory.Record(ms, cost);
+                      }));
+      (void)ignored;
+      run.series.push_back(std::move(series));
+    }
+
+    // Best known cost across all series.
+    double best = std::numeric_limits<double>::infinity();
+    for (const AlgorithmSeries& series : run.series) {
+      best = std::min(best, series.trajectory.FinalCost());
+    }
+    run.best_known_cost = best;
+    result.instances.push_back(std::move(run));
+  }
+  return result;
+}
+
+double QuantumSpeedup(const InstanceRun& run) {
+  double qa_first_ms = run.qa_read_ms;
+  double classical_match_ms = std::numeric_limits<double>::infinity();
+  for (const AlgorithmSeries& series : run.series) {
+    if (series.device_time_axis) continue;
+    classical_match_ms =
+        std::min(classical_match_ms,
+                 series.trajectory.TimeToReach(run.qa_first_read_cost));
+  }
+  return classical_match_ms / qa_first_ms;
+}
+
+double QubitsPerVariable(const ClassResult& result) {
+  double total_ratio = 0.0;
+  int counted = 0;
+  for (const InstanceRun& run : result.instances) {
+    if (run.logical_vars > 0) {
+      total_ratio += static_cast<double>(run.physical_qubits) /
+                     static_cast<double>(run.logical_vars);
+      ++counted;
+    }
+  }
+  return counted > 0 ? total_ratio / counted : 0.0;
+}
+
+}  // namespace harness
+}  // namespace qmqo

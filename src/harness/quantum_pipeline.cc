@@ -1,0 +1,74 @@
+#include "harness/quantum_pipeline.h"
+
+#include <limits>
+
+#include "util/stopwatch.h"
+
+namespace qmqo {
+namespace harness {
+
+Result<QuantumMqoResult> SolveQuantumMqo(const mqo::MqoProblem& problem,
+                                         const embedding::Embedding& embedding,
+                                         const chimera::ChimeraGraph& graph,
+                                         const QuantumMqoOptions& options) {
+  QuantumMqoResult result;
+
+  // Preprocessing on the "classical computer": logical + physical mapping.
+  Stopwatch preprocessing;
+  QMQO_ASSIGN_OR_RETURN(
+      mapping::LogicalMapping logical,
+      mapping::LogicalMapping::Create(problem, options.logical));
+  QMQO_ASSIGN_OR_RETURN(embedding::EmbeddedQubo physical,
+                        embedding::EmbeddedQubo::Create(
+                            logical.qubo(), embedding, graph,
+                            options.physical));
+  result.preprocessing_ms = preprocessing.ElapsedMillis();
+  result.physical_qubits = physical.num_physical_vars();
+
+  // Annealing on the (simulated) device, with chronological reads.
+  anneal::DWaveOptions device_options = options.device;
+  device_options.record_reads = true;
+  anneal::DWaveSimulator device(device_options);
+  QMQO_ASSIGN_OR_RETURN(anneal::DeviceResult device_result,
+                        device.Sample(physical.physical()));
+  result.device_time_us = device_result.device_time_us;
+  result.simulator_wall_ms = device_result.wall_clock_ms;
+
+  // Read-out: unembed each read in order, repair to a valid selection,
+  // track the best cost on the modeled device-time axis.
+  const double per_read_us =
+      device_options.anneal_time_us + device_options.readout_time_us;
+  double best_cost = std::numeric_limits<double>::infinity();
+  double broken_chain_sum = 0.0;
+  int valid_reads = 0;
+  int read_index = 0;
+  for (const std::vector<uint8_t>& physical_read : device_result.raw_reads) {
+    ++read_index;
+    broken_chain_sum += physical.BrokenChainFraction(physical_read);
+    std::vector<uint8_t> logical_read = physical.Unembed(physical_read);
+    if (logical.IsValidAssignment(logical_read)) ++valid_reads;
+    mqo::MqoSolution solution = logical.RepairedSolution(logical_read);
+    if (options.postprocess_swap_descent) {
+      mqo::SwapDescent(problem, &solution);
+    }
+    double cost = mqo::EvaluateCost(problem, solution);
+    if (read_index == 1) result.first_read_cost = cost;
+    if (cost < best_cost) {
+      best_cost = cost;
+      result.best_solution = solution;
+      result.cost_vs_device_time.Record(
+          static_cast<double>(read_index) * per_read_us / 1000.0, cost);
+    }
+  }
+  result.best_cost = best_cost;
+  int total_reads = static_cast<int>(device_result.raw_reads.size());
+  if (total_reads > 0) {
+    result.broken_chain_read_fraction = broken_chain_sum / total_reads;
+    result.valid_read_fraction =
+        static_cast<double>(valid_reads) / total_reads;
+  }
+  return result;
+}
+
+}  // namespace harness
+}  // namespace qmqo

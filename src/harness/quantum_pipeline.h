@@ -1,0 +1,77 @@
+#ifndef QMQO_HARNESS_QUANTUM_PIPELINE_H_
+#define QMQO_HARNESS_QUANTUM_PIPELINE_H_
+
+/// \file quantum_pipeline.h
+/// Algorithm 1 of the paper, end to end:
+///
+///   MQO --LogicalMapping--> logical QUBO --EmbeddedQubo--> physical QUBO
+///       --DWaveSimulator--> samples --Unembed + inverse mapping--> plans.
+///
+/// Besides the best solution, the pipeline reports the paper's measured
+/// quantities: preprocessing time (logical + physical mapping), modeled
+/// device time, the best-MQO-cost-after-k-reads staircase (in modeled
+/// device time), and chain-break diagnostics.
+
+#include <vector>
+
+#include "anneal/dwave_simulator.h"
+#include "chimera/topology.h"
+#include "embedding/embedded_qubo.h"
+#include "embedding/embedding.h"
+#include "harness/trajectory.h"
+#include "mapping/logical_mapping.h"
+#include "mqo/problem.h"
+#include "mqo/solution.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace harness {
+
+/// Options of the full pipeline.
+struct QuantumMqoOptions {
+  mapping::LogicalMappingOptions logical;
+  embedding::EmbeddedQuboOptions physical;
+  anneal::DWaveOptions device;
+  /// Apply greedy plan-swap descent to each read during the classical
+  /// read-out (the analogue of D-Wave SAPI's "optimization" post-processing
+  /// mode, which runs server-side pipelined with annealing). Costs ~1 ms of
+  /// classical time per read, which is NOT charged to the modeled device
+  /// time — the same accounting the paper uses for its read-outs.
+  bool postprocess_swap_descent = true;
+};
+
+/// Everything Algorithm 1 produces, plus the paper's measurements.
+struct QuantumMqoResult {
+  mqo::MqoSolution best_solution{0};
+  double best_cost = 0.0;
+  /// Classical preprocessing: logical + physical mapping, milliseconds
+  /// (the paper reports 112-135 ms for its unoptimized implementation).
+  double preprocessing_ms = 0.0;
+  /// Modeled device time for all reads, microseconds.
+  double device_time_us = 0.0;
+  /// Wall-clock time spent simulating the device, milliseconds.
+  double simulator_wall_ms = 0.0;
+  /// Best MQO cost after each read, on the modeled device-time axis.
+  Trajectory cost_vs_device_time;
+  /// MQO cost of the first read's solution (the paper's 1-run quality).
+  double first_read_cost = 0.0;
+  /// Mean fraction of broken chains per read (0 = all chains always
+  /// consistent).
+  double broken_chain_read_fraction = 0.0;
+  /// Fraction of reads whose repaired solution was already valid.
+  double valid_read_fraction = 0.0;
+  /// Physical qubits used.
+  int physical_qubits = 0;
+};
+
+/// Runs Algorithm 1 with a caller-provided embedding of the plan variables
+/// (the workload generator produces instance + embedding together).
+Result<QuantumMqoResult> SolveQuantumMqo(const mqo::MqoProblem& problem,
+                                         const embedding::Embedding& embedding,
+                                         const chimera::ChimeraGraph& graph,
+                                         const QuantumMqoOptions& options);
+
+}  // namespace harness
+}  // namespace qmqo
+
+#endif  // QMQO_HARNESS_QUANTUM_PIPELINE_H_

@@ -1,0 +1,44 @@
+#include "harness/trajectory.h"
+
+namespace qmqo {
+namespace harness {
+
+void Trajectory::Record(double time_ms, double cost) {
+  if (!points_.empty()) {
+    if (cost >= points_.back().cost) return;
+    // Guard against clock jitter: keep times monotone.
+    if (time_ms < points_.back().time_ms) time_ms = points_.back().time_ms;
+  }
+  points_.push_back(TrajectoryPoint{time_ms, cost});
+}
+
+double Trajectory::CostAt(double time_ms) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const TrajectoryPoint& point : points_) {
+    if (point.time_ms <= time_ms) {
+      best = point.cost;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+double Trajectory::TimeToReach(double cost) const {
+  for (const TrajectoryPoint& point : points_) {
+    if (point.cost <= cost) return point.time_ms;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double Trajectory::FinalCost() const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  return points_.back().cost;
+}
+
+std::vector<double> Trajectory::PaperMilestonesMs() {
+  return {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
+}
+
+}  // namespace harness
+}  // namespace qmqo

@@ -1,0 +1,53 @@
+#ifndef QMQO_HARNESS_TRAJECTORY_H_
+#define QMQO_HARNESS_TRAJECTORY_H_
+
+/// \file trajectory.h
+/// Cost-vs-time trajectories: the measurement abstraction behind the
+/// paper's Figures 4-6. A trajectory is the non-increasing staircase of
+/// the best solution cost over optimization time.
+
+#include <limits>
+#include <vector>
+
+namespace qmqo {
+namespace harness {
+
+/// One point of a staircase.
+struct TrajectoryPoint {
+  double time_ms = 0.0;
+  double cost = 0.0;
+};
+
+/// A non-increasing best-cost-so-far staircase.
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Records that a solution of cost `cost` was available at `time_ms`.
+  /// Only improvements are kept.
+  void Record(double time_ms, double cost);
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+
+  /// Best cost available at (or before) `time_ms`; +inf when nothing was
+  /// found by then.
+  double CostAt(double time_ms) const;
+
+  /// Earliest time at which a cost <= `cost` was available; +inf if never.
+  double TimeToReach(double cost) const;
+
+  /// Final (best) cost; +inf when empty.
+  double FinalCost() const;
+
+  /// The paper's milestone grid: 1, 10, 100, 1e3, 1e4, 1e5 ms.
+  static std::vector<double> PaperMilestonesMs();
+
+ private:
+  std::vector<TrajectoryPoint> points_;
+};
+
+}  // namespace harness
+}  // namespace qmqo
+
+#endif  // QMQO_HARNESS_TRAJECTORY_H_

@@ -1,0 +1,169 @@
+#include "mapping/logical_mapping.h"
+
+#include <cassert>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace mapping {
+
+using mqo::MqoProblem;
+using mqo::MqoSolution;
+using mqo::PlanId;
+using mqo::QueryId;
+
+Result<LogicalMapping> LogicalMapping::Create(
+    const MqoProblem& problem, const LogicalMappingOptions& options) {
+  QMQO_RETURN_IF_ERROR(problem.Validate());
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+
+  // Weight derivation (Section 4): w_L dominates any single plan cost so
+  // that selecting a plan always beats selecting none (Lemma 2); w_M
+  // dominates w_L plus any accumulated saving so that dropping a duplicate
+  // plan always reduces energy (Lemma 1).
+  const double wl = problem.max_plan_cost() + options.epsilon;
+  const double wm = wl + problem.max_accumulated_saving() + options.epsilon;
+
+  qubo::QuboProblem qubo(problem.num_plans());
+  // E_C + w_L * E_L: linear terms c_p − w_L on every plan variable.
+  for (PlanId p = 0; p < problem.num_plans(); ++p) {
+    qubo.AddLinear(p, problem.plan_cost(p) - wl);
+  }
+  // w_M * E_M: quadratic penalty between every pair of plans of one query.
+  for (QueryId q = 0; q < problem.num_queries(); ++q) {
+    PlanId first = problem.first_plan(q);
+    int count = problem.num_plans_of(q);
+    for (int i = 0; i < count; ++i) {
+      for (int j = i + 1; j < count; ++j) {
+        qubo.AddQuadratic(first + i, first + j, wm);
+      }
+    }
+  }
+  // E_S: negative quadratic terms for sharing savings.
+  for (const mqo::Saving& s : problem.savings()) {
+    qubo.AddQuadratic(s.plan_a, s.plan_b, -s.value);
+  }
+  return LogicalMapping(problem, std::move(qubo), wl, wm);
+}
+
+bool LogicalMapping::IsValidAssignment(const std::vector<uint8_t>& x) const {
+  if (static_cast<int>(x.size()) != problem_->num_plans()) return false;
+  for (QueryId q = 0; q < problem_->num_queries(); ++q) {
+    PlanId first = problem_->first_plan(q);
+    int selected = 0;
+    for (int i = 0; i < problem_->num_plans_of(q); ++i) {
+      selected += x[static_cast<size_t>(first + i)] ? 1 : 0;
+    }
+    if (selected != 1) return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> LogicalMapping::FromMqoSolution(
+    const MqoSolution& solution) const {
+  std::vector<uint8_t> x(static_cast<size_t>(problem_->num_plans()), 0);
+  for (QueryId q = 0; q < solution.num_queries(); ++q) {
+    PlanId p = solution.selected(q);
+    if (p != MqoSolution::kUnselected) {
+      x[static_cast<size_t>(p)] = 1;
+    }
+  }
+  return x;
+}
+
+Result<MqoSolution> LogicalMapping::ToMqoSolution(
+    const std::vector<uint8_t>& x) const {
+  if (static_cast<int>(x.size()) != problem_->num_plans()) {
+    return Status::InvalidArgument(
+        StrFormat("assignment has %zu entries, expected %d", x.size(),
+                  problem_->num_plans()));
+  }
+  MqoSolution solution(problem_->num_queries());
+  for (QueryId q = 0; q < problem_->num_queries(); ++q) {
+    PlanId first = problem_->first_plan(q);
+    PlanId chosen = MqoSolution::kUnselected;
+    for (int i = 0; i < problem_->num_plans_of(q); ++i) {
+      if (!x[static_cast<size_t>(first + i)]) continue;
+      if (chosen != MqoSolution::kUnselected) {
+        return Status::FailedPrecondition(
+            StrFormat("query %d has multiple selected plans", q));
+      }
+      chosen = first + i;
+    }
+    if (chosen == MqoSolution::kUnselected) {
+      return Status::FailedPrecondition(
+          StrFormat("query %d has no selected plan", q));
+    }
+    solution.Select(q, chosen);
+  }
+  return solution;
+}
+
+MqoSolution LogicalMapping::RepairedSolution(
+    const std::vector<uint8_t>& x) const {
+  assert(static_cast<int>(x.size()) == problem_->num_plans());
+  // Marginal contribution of plan p against the currently-chosen set:
+  // c_p minus savings shared with chosen plans of other queries. The
+  // chosen set starts as the (possibly invalid) input selection so that
+  // an over-full query keeps the plan that profits from what the sample
+  // actually selected elsewhere.
+  std::vector<uint8_t> chosen(x.begin(), x.end());
+  auto marginal = [&](PlanId p) {
+    double value = problem_->plan_cost(p);
+    for (const auto& [other, saving] : problem_->savings_of(p)) {
+      if (chosen[static_cast<size_t>(other)]) value -= saving;
+    }
+    return value;
+  };
+
+  MqoSolution solution(problem_->num_queries());
+  // Pass 1: resolve queries that have at least one selected plan; keep the
+  // plan with the smallest marginal cost among the selected ones and
+  // deselect the rest.
+  for (QueryId q = 0; q < problem_->num_queries(); ++q) {
+    PlanId first = problem_->first_plan(q);
+    PlanId best = MqoSolution::kUnselected;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < problem_->num_plans_of(q); ++i) {
+      PlanId p = first + i;
+      if (!x[static_cast<size_t>(p)]) continue;
+      double value = marginal(p);
+      if (value < best_value) {
+        best_value = value;
+        best = p;
+      }
+    }
+    if (best != MqoSolution::kUnselected) {
+      solution.Select(q, best);
+      for (int i = 0; i < problem_->num_plans_of(q); ++i) {
+        chosen[static_cast<size_t>(first + i)] = 0;
+      }
+      chosen[static_cast<size_t>(best)] = 1;
+    }
+  }
+  // Pass 2: queries with no selected plan pick the best marginal plan given
+  // everything chosen so far.
+  for (QueryId q = 0; q < problem_->num_queries(); ++q) {
+    if (solution.selected(q) != MqoSolution::kUnselected) continue;
+    PlanId first = problem_->first_plan(q);
+    PlanId best = first;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < problem_->num_plans_of(q); ++i) {
+      PlanId p = first + i;
+      double value = marginal(p);
+      if (value < best_value) {
+        best_value = value;
+        best = p;
+      }
+    }
+    solution.Select(q, best);
+    chosen[static_cast<size_t>(best)] = 1;
+  }
+  return solution;
+}
+
+}  // namespace mapping
+}  // namespace qmqo

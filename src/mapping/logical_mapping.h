@@ -1,0 +1,103 @@
+#ifndef QMQO_MAPPING_LOGICAL_MAPPING_H_
+#define QMQO_MAPPING_LOGICAL_MAPPING_H_
+
+/// \file logical_mapping.h
+/// The paper's core contribution (Section 4): transforming an MQO problem
+/// instance into a QUBO "energy formula" whose minimum encodes the optimal
+/// plan selection.
+///
+/// One binary variable X_p per plan p (variable id == plan id). The energy
+/// formula is
+///
+///   E = w_L * E_L + w_M * E_M + E_C + E_S
+///
+///   E_L = − sum_p X_p                      (select at least one plan/query)
+///   E_M = sum_q sum_{p1<p2 in P_q} X_p1 X_p2  (at most one plan/query)
+///   E_C = sum_p c_p X_p                    (execution costs)
+///   E_S = − sum_{p1,p2} s_{p1,p2} X_p1 X_p2   (sharing savings)
+///
+/// with weights chosen as small as possible (large weight ranges degrade
+/// annealer precision, Section 4):
+///
+///   w_L = max_p c_p + epsilon
+///   w_M = w_L + max_p1 sum_p2 s_{p1,p2} + epsilon
+///
+/// Theorem 1 of the paper (tested exhaustively in this repo): the minimum of
+/// E is attained exactly at valid selections of minimal execution cost, and
+/// for every valid assignment E(x) = C(Pe) + constant_offset().
+
+#include <cstdint>
+#include <vector>
+
+#include "mqo/problem.h"
+#include "mqo/solution.h"
+#include "qubo/qubo.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace mapping {
+
+/// Tunables of the logical mapping.
+struct LogicalMappingOptions {
+  /// Slack added above each derived weight lower bound; the paper uses 0.25.
+  double epsilon = 0.25;
+};
+
+/// The MQO -> QUBO transformation and its inverse.
+///
+/// Holds a reference to the source problem; the problem must outlive the
+/// mapping.
+class LogicalMapping {
+ public:
+  /// Builds the energy formula for `problem`. Fails on invalid problems or
+  /// non-positive epsilon.
+  static Result<LogicalMapping> Create(
+      const mqo::MqoProblem& problem,
+      const LogicalMappingOptions& options = LogicalMappingOptions());
+
+  /// The QUBO energy formula. Variable ids coincide with plan ids.
+  const qubo::QuboProblem& qubo() const { return qubo_; }
+
+  const mqo::MqoProblem& problem() const { return *problem_; }
+
+  /// The derived weights (useful for diagnostics and tests of Lemmas 1-2).
+  double wl() const { return wl_; }
+  double wm() const { return wm_; }
+
+  /// For every valid assignment x: qubo().Energy(x) = C(solution(x)) + this.
+  /// (E_L contributes −w_L per query and E_M contributes 0.)
+  double constant_offset() const {
+    return -wl_ * static_cast<double>(problem_->num_queries());
+  }
+
+  /// True iff `x` selects exactly one plan per query.
+  bool IsValidAssignment(const std::vector<uint8_t>& x) const;
+
+  /// Encodes a complete MQO solution as a QUBO assignment.
+  std::vector<uint8_t> FromMqoSolution(const mqo::MqoSolution& solution) const;
+
+  /// Strict inverse mapping: fails when `x` is not a valid assignment.
+  Result<mqo::MqoSolution> ToMqoSolution(const std::vector<uint8_t>& x) const;
+
+  /// Total inverse mapping: repairs invalid assignments greedily — a query
+  /// with several selected plans keeps the plan with the best marginal
+  /// contribution; a query with none gets the plan with the best marginal
+  /// contribution w.r.t. plans selected so far. Always returns a valid
+  /// solution; coincides with `ToMqoSolution` on valid assignments.
+  mqo::MqoSolution RepairedSolution(const std::vector<uint8_t>& x) const;
+
+ private:
+  LogicalMapping(const mqo::MqoProblem& problem, qubo::QuboProblem qubo,
+                 double wl, double wm)
+      : problem_(&problem), qubo_(std::move(qubo)), wl_(wl), wm_(wm) {}
+
+  const mqo::MqoProblem* problem_;
+  qubo::QuboProblem qubo_;
+  double wl_;
+  double wm_;
+};
+
+}  // namespace mapping
+}  // namespace qmqo
+
+#endif  // QMQO_MAPPING_LOGICAL_MAPPING_H_

@@ -1,0 +1,62 @@
+#include "mqo/brute_force.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace mqo {
+
+Result<ExhaustiveResult> SolveExhaustive(const MqoProblem& problem,
+                                         uint64_t max_states) {
+  QMQO_RETURN_IF_ERROR(problem.Validate());
+  // Estimate search-space size with overflow care.
+  double log_states = 0.0;
+  for (QueryId q = 0; q < problem.num_queries(); ++q) {
+    log_states += std::log2(static_cast<double>(problem.num_plans_of(q)));
+  }
+  if (log_states > std::log2(static_cast<double>(max_states))) {
+    return Status::ResourceExhausted(
+        StrFormat("search space 2^%.1f exceeds limit of %llu states",
+                  log_states, static_cast<unsigned long long>(max_states)));
+  }
+
+  int n = problem.num_queries();
+  // Odometer over per-query plan indices, using the incremental evaluator so
+  // each step costs O(plan degree) instead of O(|savings|).
+  MqoSolution current(n);
+  for (QueryId q = 0; q < n; ++q) {
+    current.Select(q, problem.first_plan(q));
+  }
+  IncrementalCostEvaluator eval(problem);
+  eval.Reset(current);
+
+  ExhaustiveResult best{eval.ToSolution(), eval.cost(), 1};
+  std::vector<int> index(static_cast<size_t>(n), 0);
+  while (true) {
+    // Advance the odometer.
+    int q = 0;
+    while (q < n) {
+      size_t uq = static_cast<size_t>(q);
+      if (index[uq] + 1 < problem.num_plans_of(q)) {
+        ++index[uq];
+        eval.ApplySwap(q, problem.first_plan(q) + index[uq]);
+        break;
+      }
+      index[uq] = 0;
+      eval.ApplySwap(q, problem.first_plan(q));
+      ++q;
+    }
+    if (q == n) break;  // wrapped around: enumeration complete
+    ++best.states_visited;
+    if (eval.cost() < best.cost) {
+      best.cost = eval.cost();
+      best.solution = eval.ToSolution();
+    }
+  }
+  return best;
+}
+
+}  // namespace mqo
+}  // namespace qmqo

@@ -1,0 +1,34 @@
+#ifndef QMQO_MQO_BRUTE_FORCE_H_
+#define QMQO_MQO_BRUTE_FORCE_H_
+
+/// \file brute_force.h
+/// Exhaustive MQO solver, used as ground truth in tests and small examples.
+
+#include <cstdint>
+
+#include "mqo/problem.h"
+#include "mqo/solution.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace mqo {
+
+/// Result of an exhaustive search.
+struct ExhaustiveResult {
+  MqoSolution solution;
+  double cost = 0.0;
+  uint64_t states_visited = 0;
+};
+
+/// Enumerates every complete plan selection (an odometer over the cartesian
+/// product of per-query plan sets) and returns a minimum-cost solution.
+///
+/// Fails with ResourceExhausted if the search space exceeds `max_states`
+/// (default 2^22), guarding against accidental exponential blow-up in tests.
+Result<ExhaustiveResult> SolveExhaustive(const MqoProblem& problem,
+                                         uint64_t max_states = (1ull << 22));
+
+}  // namespace mqo
+}  // namespace qmqo
+
+#endif  // QMQO_MQO_BRUTE_FORCE_H_

@@ -1,0 +1,91 @@
+#include "mqo/clustering.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace qmqo {
+namespace mqo {
+namespace {
+
+/// Builds the query-level sharing adjacency (deduplicated neighbor lists).
+std::vector<std::vector<QueryId>> QuerySharingGraph(const MqoProblem& problem) {
+  std::vector<std::vector<QueryId>> adj(
+      static_cast<size_t>(problem.num_queries()));
+  for (const Saving& s : problem.savings()) {
+    QueryId qa = problem.query_of(s.plan_a);
+    QueryId qb = problem.query_of(s.plan_b);
+    adj[static_cast<size_t>(qa)].push_back(qb);
+    adj[static_cast<size_t>(qb)].push_back(qa);
+  }
+  for (auto& neighbors : adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+QueryClustering ClusterByConnectedComponents(const MqoProblem& problem) {
+  return ClusterWithSizeCap(problem, problem.num_queries());
+}
+
+QueryClustering ClusterWithSizeCap(const MqoProblem& problem,
+                                   int max_queries_per_cluster) {
+  auto adj = QuerySharingGraph(problem);
+  QueryClustering out;
+  out.cluster_of.assign(static_cast<size_t>(problem.num_queries()), -1);
+  for (QueryId start = 0; start < problem.num_queries(); ++start) {
+    if (out.cluster_of[static_cast<size_t>(start)] != -1) continue;
+    // BFS over the component, chopping into caps of the requested size.
+    std::deque<QueryId> frontier{start};
+    std::vector<QueryId> current;
+    auto flush = [&]() {
+      if (current.empty()) return;
+      int cluster = out.num_clusters();
+      for (QueryId q : current) {
+        out.cluster_of[static_cast<size_t>(q)] = cluster;
+      }
+      out.members.push_back(std::move(current));
+      current.clear();
+    };
+    std::vector<uint8_t> enqueued(static_cast<size_t>(problem.num_queries()),
+                                  0);
+    enqueued[static_cast<size_t>(start)] = 1;
+    while (!frontier.empty()) {
+      QueryId q = frontier.front();
+      frontier.pop_front();
+      current.push_back(q);
+      if (static_cast<int>(current.size()) >= max_queries_per_cluster) {
+        flush();
+      }
+      for (QueryId next : adj[static_cast<size_t>(q)]) {
+        if (!enqueued[static_cast<size_t>(next)]) {
+          enqueued[static_cast<size_t>(next)] = 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+    flush();
+  }
+  return out;
+}
+
+int CountCrossClusterSavings(const MqoProblem& problem,
+                             const QueryClustering& clustering) {
+  int count = 0;
+  for (const Saving& s : problem.savings()) {
+    QueryId qa = problem.query_of(s.plan_a);
+    QueryId qb = problem.query_of(s.plan_b);
+    if (clustering.cluster_of[static_cast<size_t>(qa)] !=
+        clustering.cluster_of[static_cast<size_t>(qb)]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mqo
+}  // namespace qmqo

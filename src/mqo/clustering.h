@@ -1,0 +1,51 @@
+#ifndef QMQO_MQO_CLUSTERING_H_
+#define QMQO_MQO_CLUSTERING_H_
+
+/// \file clustering.h
+/// Query clustering: partitions queries into groups that share work.
+///
+/// The paper's clustered embedding (Section 5) assumes queries have been
+/// clustered "based on structural properties in a preprocessing step" so
+/// that cross-cluster sharing is rare. We provide the canonical such
+/// preprocessing: connected components of the query-sharing graph (two
+/// queries are adjacent when any of their plans share work), plus a greedy
+/// size-capped refinement for components larger than an embedding region.
+
+#include <vector>
+
+#include "mqo/problem.h"
+
+namespace qmqo {
+namespace mqo {
+
+/// A partition of queries into clusters. `cluster_of[q]` gives the cluster
+/// index of query q; `members[c]` lists queries of cluster c.
+struct QueryClustering {
+  std::vector<int> cluster_of;
+  std::vector<std::vector<QueryId>> members;
+
+  int num_clusters() const { return static_cast<int>(members.size()); }
+};
+
+/// Exact clustering: connected components of the query-sharing graph.
+/// Queries in different components never share work, so components can be
+/// optimized (or embedded) independently.
+QueryClustering ClusterByConnectedComponents(const MqoProblem& problem);
+
+/// Like `ClusterByConnectedComponents`, but splits any component with more
+/// than `max_queries_per_cluster` queries using a BFS order. Splitting may
+/// cut sharing edges; the result is still a valid partition but no longer
+/// guarantees zero inter-cluster sharing (the paper accepts the same
+/// trade-off when the clustered embedding drops cross-cluster couplers).
+QueryClustering ClusterWithSizeCap(const MqoProblem& problem,
+                                   int max_queries_per_cluster);
+
+/// Counts savings whose endpoints lie in different clusters (a quality
+/// measure: 0 means the clustering is lossless for embedding purposes).
+int CountCrossClusterSavings(const MqoProblem& problem,
+                             const QueryClustering& clustering);
+
+}  // namespace mqo
+}  // namespace qmqo
+
+#endif  // QMQO_MQO_CLUSTERING_H_

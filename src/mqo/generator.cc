@@ -1,0 +1,96 @@
+#include "mqo/generator.h"
+
+#include <cmath>
+
+namespace qmqo {
+namespace mqo {
+namespace {
+
+double DrawValue(double lo, double hi, bool integral, Rng* rng) {
+  double v = rng->UniformReal(lo, hi);
+  if (integral) v = std::max(1.0, std::round(v));
+  return v;
+}
+
+void AddQueries(int num_queries, int min_plans, int max_plans, double cost_min,
+                double cost_max, bool integral, Rng* rng, MqoProblem* problem) {
+  for (int q = 0; q < num_queries; ++q) {
+    int plans = min_plans == max_plans ? min_plans
+                                       : rng->UniformInt(min_plans, max_plans);
+    std::vector<double> costs;
+    costs.reserve(static_cast<size_t>(plans));
+    for (int p = 0; p < plans; ++p) {
+      costs.push_back(DrawValue(cost_min, cost_max, integral, rng));
+    }
+    problem->AddQuery(std::move(costs));
+  }
+}
+
+}  // namespace
+
+MqoProblem GenerateRandomWorkload(const RandomWorkloadOptions& options,
+                                  Rng* rng) {
+  MqoProblem problem;
+  AddQueries(options.num_queries, options.min_plans, options.max_plans,
+             options.cost_min, options.cost_max, options.integral, rng,
+             &problem);
+  for (PlanId a = 0; a < problem.num_plans(); ++a) {
+    for (PlanId b = a + 1; b < problem.num_plans(); ++b) {
+      if (problem.query_of(a) == problem.query_of(b)) continue;
+      if (!rng->Bernoulli(options.sharing_probability)) continue;
+      double s = DrawValue(options.saving_min, options.saving_max,
+                           options.integral, rng);
+      // By construction a != b, different queries, s > 0: cannot fail.
+      (void)problem.AddSaving(a, b, s);
+    }
+  }
+  return problem;
+}
+
+MqoProblem GenerateClusteredWorkload(const ClusteredWorkloadOptions& options,
+                                     Rng* rng) {
+  MqoProblem problem;
+  AddQueries(options.num_clusters * options.queries_per_cluster,
+             options.plans_per_query, options.plans_per_query,
+             options.cost_min, options.cost_max, options.integral, rng,
+             &problem);
+  auto cluster_of = [&](QueryId q) { return q / options.queries_per_cluster; };
+  for (PlanId a = 0; a < problem.num_plans(); ++a) {
+    for (PlanId b = a + 1; b < problem.num_plans(); ++b) {
+      QueryId qa = problem.query_of(a);
+      QueryId qb = problem.query_of(b);
+      if (qa == qb) continue;
+      double prob = cluster_of(qa) == cluster_of(qb)
+                        ? options.intra_cluster_probability
+                        : options.inter_cluster_probability;
+      if (!rng->Bernoulli(prob)) continue;
+      double s = DrawValue(options.saving_min, options.saving_max,
+                           options.integral, rng);
+      (void)problem.AddSaving(a, b, s);
+    }
+  }
+  return problem;
+}
+
+MqoProblem GenerateChainWorkload(const ChainWorkloadOptions& options,
+                                 Rng* rng) {
+  MqoProblem problem;
+  AddQueries(options.num_queries, options.plans_per_query,
+             options.plans_per_query, options.cost_min, options.cost_max,
+             options.integral, rng, &problem);
+  for (QueryId q = 0; q + 1 < problem.num_queries(); ++q) {
+    for (int i = 0; i < problem.num_plans_of(q); ++i) {
+      for (int j = 0; j < problem.num_plans_of(q + 1); ++j) {
+        if (!rng->Bernoulli(options.link_probability)) continue;
+        double s = DrawValue(options.saving_min, options.saving_max,
+                             options.integral, rng);
+        (void)problem.AddSaving(problem.first_plan(q) + i,
+                                problem.first_plan(q + 1) + j, s);
+      }
+    }
+  }
+  return problem;
+}
+
+}  // namespace mqo
+}  // namespace qmqo

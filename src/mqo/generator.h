@@ -1,0 +1,86 @@
+#ifndef QMQO_MQO_GENERATOR_H_
+#define QMQO_MQO_GENERATOR_H_
+
+/// \file generator.h
+/// Synthetic MQO workload generators.
+///
+/// Three generic generator families cover the shapes used throughout the
+/// MQO literature; the paper's exact workload (savings placed only where the
+/// Chimera embedding offers couplers) additionally needs the hardware model
+/// and lives in `harness/paper_workload.h`.
+
+#include "mqo/problem.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace mqo {
+
+/// Parameters for `GenerateRandomWorkload`.
+struct RandomWorkloadOptions {
+  int num_queries = 10;
+  /// Each query independently draws its plan count from [min_plans, max_plans].
+  int min_plans = 2;
+  int max_plans = 2;
+  /// Plan costs drawn uniformly from [cost_min, cost_max].
+  double cost_min = 10.0;
+  double cost_max = 50.0;
+  /// Probability that an (unordered) pair of plans from different queries
+  /// shares work.
+  double sharing_probability = 0.1;
+  /// Saving values drawn uniformly from [saving_min, saving_max].
+  double saving_min = 1.0;
+  double saving_max = 5.0;
+  /// Round costs and savings to integers (the paper uses integral values).
+  bool integral = true;
+};
+
+/// Erdos-Renyi-style sharing: every cross-query plan pair independently
+/// shares work with `sharing_probability`.
+MqoProblem GenerateRandomWorkload(const RandomWorkloadOptions& options,
+                                  Rng* rng);
+
+/// Parameters for `GenerateClusteredWorkload`.
+struct ClusteredWorkloadOptions {
+  int num_clusters = 4;
+  int queries_per_cluster = 3;
+  int plans_per_query = 2;
+  double cost_min = 10.0;
+  double cost_max = 50.0;
+  /// Sharing probability for plan pairs inside the same cluster.
+  double intra_cluster_probability = 0.5;
+  /// Sharing probability for plan pairs across clusters (typically sparse).
+  double inter_cluster_probability = 0.0;
+  double saving_min = 1.0;
+  double saving_max = 5.0;
+  bool integral = true;
+};
+
+/// Cluster-structured sharing, the regime motivating the paper's clustered
+/// embedding (Section 5, Figure 3): dense sharing within a cluster, sparse
+/// or no sharing across clusters.
+MqoProblem GenerateClusteredWorkload(const ClusteredWorkloadOptions& options,
+                                     Rng* rng);
+
+/// Parameters for `GenerateChainWorkload`.
+struct ChainWorkloadOptions {
+  int num_queries = 10;
+  int plans_per_query = 2;
+  double cost_min = 10.0;
+  double cost_max = 50.0;
+  /// Probability that a given plan pair of *adjacent* queries shares work.
+  double link_probability = 0.8;
+  double saving_min = 1.0;
+  double saving_max = 2.0;
+  bool integral = true;
+};
+
+/// Savings only between consecutive queries — e.g. a dashboard refresh where
+/// each report extends its predecessor's scan. Chain instances decompose
+/// nicely and exercise the sparse end of the sharing spectrum.
+MqoProblem GenerateChainWorkload(const ChainWorkloadOptions& options,
+                                 Rng* rng);
+
+}  // namespace mqo
+}  // namespace qmqo
+
+#endif  // QMQO_MQO_GENERATOR_H_

@@ -1,0 +1,129 @@
+#include "mqo/problem.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace mqo {
+
+uint64_t MqoProblem::PairKey(PlanId a, PlanId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+QueryId MqoProblem::AddQuery(std::vector<double> plan_costs) {
+  QueryId q = num_queries();
+  query_first_plan_.push_back(num_plans());
+  query_num_plans_.push_back(static_cast<int>(plan_costs.size()));
+  for (double c : plan_costs) {
+    plan_cost_.push_back(c);
+    plan_query_.push_back(q);
+    savings_adj_.emplace_back();
+    max_plan_cost_ = std::max(max_plan_cost_, c);
+  }
+  return q;
+}
+
+Status MqoProblem::AddSaving(PlanId a, PlanId b, double value) {
+  if (a < 0 || a >= num_plans() || b < 0 || b >= num_plans()) {
+    return Status::OutOfRange(
+        StrFormat("saving references plan out of range: (%d, %d)", a, b));
+  }
+  if (a == b) {
+    return Status::InvalidArgument("saving between a plan and itself");
+  }
+  if (query_of(a) == query_of(b)) {
+    return Status::InvalidArgument(StrFormat(
+        "saving between plans %d and %d of the same query %d", a, b,
+        query_of(a)));
+  }
+  if (value <= 0.0) {
+    return Status::InvalidArgument("saving value must be positive");
+  }
+  uint64_t key = PairKey(a, b);
+  auto it = saving_index_.find(key);
+  if (it != saving_index_.end()) {
+    // Accumulate: multiple shared intermediate results between the same
+    // plan pair fold into one pairwise link, as in the paper's model.
+    Saving& s = savings_[it->second];
+    s.value += value;
+    for (auto& [other, v] : savings_adj_[static_cast<size_t>(a)]) {
+      if (other == b) v = s.value;
+    }
+    for (auto& [other, v] : savings_adj_[static_cast<size_t>(b)]) {
+      if (other == a) v = s.value;
+    }
+    return Status::OK();
+  }
+  saving_index_.emplace(key, savings_.size());
+  savings_.push_back(Saving{std::min(a, b), std::max(a, b), value});
+  savings_adj_[static_cast<size_t>(a)].emplace_back(b, value);
+  savings_adj_[static_cast<size_t>(b)].emplace_back(a, value);
+  return Status::OK();
+}
+
+Status MqoProblem::Validate() const {
+  if (num_queries() == 0) {
+    return Status::FailedPrecondition("problem has no queries");
+  }
+  for (QueryId q = 0; q < num_queries(); ++q) {
+    if (num_plans_of(q) <= 0) {
+      return Status::FailedPrecondition(
+          StrFormat("query %d has no plans", q));
+    }
+  }
+  for (PlanId p = 0; p < num_plans(); ++p) {
+    if (plan_cost(p) < 0.0) {
+      return Status::FailedPrecondition(
+          StrFormat("plan %d has negative cost", p));
+    }
+  }
+  for (const Saving& s : savings_) {
+    if (query_of(s.plan_a) == query_of(s.plan_b)) {
+      return Status::FailedPrecondition("intra-query saving");
+    }
+    if (s.value <= 0.0) {
+      return Status::FailedPrecondition("non-positive saving");
+    }
+  }
+  return Status::OK();
+}
+
+double MqoProblem::max_accumulated_saving() const {
+  double best = 0.0;
+  for (PlanId p = 0; p < num_plans(); ++p) {
+    best = std::max(best, accumulated_saving_of(p));
+  }
+  return best;
+}
+
+double MqoProblem::total_plan_cost() const {
+  double sum = 0.0;
+  for (double c : plan_cost_) sum += c;
+  return sum;
+}
+
+double MqoProblem::saving_between(PlanId a, PlanId b) const {
+  auto it = saving_index_.find(PairKey(a, b));
+  if (it == saving_index_.end()) return 0.0;
+  return savings_[it->second].value;
+}
+
+double MqoProblem::accumulated_saving_of(PlanId p) const {
+  double sum = 0.0;
+  for (const auto& [other, value] : savings_adj_[static_cast<size_t>(p)]) {
+    (void)other;
+    sum += value;
+  }
+  return sum;
+}
+
+std::string MqoProblem::Summary() const {
+  return StrFormat("MQO(%d queries, %d plans, %d savings)", num_queries(),
+                   num_plans(), num_savings());
+}
+
+}  // namespace mqo
+}  // namespace qmqo

@@ -1,0 +1,130 @@
+#ifndef QMQO_MQO_PROBLEM_H_
+#define QMQO_MQO_PROBLEM_H_
+
+/// \file problem.h
+/// The multiple query optimization (MQO) problem model of Trummer & Koch
+/// (PVLDB'16, Section 3).
+///
+/// An instance consists of a set Q of queries; each query q has a non-empty
+/// set P_q of alternative plans; each plan p has an execution cost c_p; pairs
+/// of plans belonging to *different* queries may share intermediate results,
+/// expressed as a cost saving s_{p1,p2} > 0 realized when both plans are
+/// executed. A solution selects exactly one plan per query and costs
+/// C(Pe) = sum_{p in Pe} c_p − sum_{{p1,p2} ⊆ Pe} s_{p1,p2}.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qmqo {
+namespace mqo {
+
+/// Index of a query within a problem, in [0, num_queries).
+using QueryId = int;
+/// Global index of a plan within a problem, in [0, num_plans).
+using PlanId = int;
+
+/// One pairwise cost-saving link between plans of different queries.
+struct Saving {
+  PlanId plan_a = -1;
+  PlanId plan_b = -1;
+  double value = 0.0;
+};
+
+/// An MQO problem instance. Build with `AddQuery` / `AddSaving`, then query.
+///
+/// Plans are identified by a single global `PlanId`; plans of query q occupy
+/// the contiguous range [first_plan(q), first_plan(q) + num_plans_of(q)).
+class MqoProblem {
+ public:
+  MqoProblem() = default;
+
+  /// Adds a query with the given per-plan execution costs (one entry per
+  /// alternative plan). Returns the new query's id. `plan_costs` must be
+  /// non-empty and non-negative; violations are reported by `Validate`.
+  QueryId AddQuery(std::vector<double> plan_costs);
+
+  /// Registers (or accumulates onto an existing) saving between two plans.
+  /// Fails if the plans coincide, are out of range, belong to the same
+  /// query, or if `value` is not positive.
+  Status AddSaving(PlanId a, PlanId b, double value);
+
+  /// Checks structural invariants (non-negative costs, savings between
+  /// distinct queries only). Cheap; intended after deserialization.
+  Status Validate() const;
+
+  int num_queries() const { return static_cast<int>(query_first_plan_.size()); }
+  int num_plans() const { return static_cast<int>(plan_cost_.size()); }
+  int num_savings() const { return static_cast<int>(savings_.size()); }
+
+  /// Query owning plan `p`.
+  QueryId query_of(PlanId p) const { return plan_query_[static_cast<size_t>(p)]; }
+
+  /// First (global) plan id of query `q`.
+  PlanId first_plan(QueryId q) const {
+    return query_first_plan_[static_cast<size_t>(q)];
+  }
+
+  /// Number of alternative plans of query `q`.
+  int num_plans_of(QueryId q) const {
+    return query_num_plans_[static_cast<size_t>(q)];
+  }
+
+  /// Execution cost of plan `p` (ignoring any sharing).
+  double plan_cost(PlanId p) const { return plan_cost_[static_cast<size_t>(p)]; }
+
+  /// Largest single-plan execution cost; 0 for an empty problem.
+  /// This is the quantity bounding the paper's weight w_L.
+  double max_plan_cost() const { return max_plan_cost_; }
+
+  /// max over plans p1 of (sum over p2 of s_{p1,p2}): the accumulated-saving
+  /// bound used for the paper's weight w_M.
+  double max_accumulated_saving() const;
+
+  /// Sum of all plan costs (a trivial upper bound on any solution cost).
+  double total_plan_cost() const;
+
+  /// All savings in insertion order (accumulated duplicates merged).
+  const std::vector<Saving>& savings() const { return savings_; }
+
+  /// Saving between plans `a` and `b`; 0 when the pair shares nothing.
+  double saving_between(PlanId a, PlanId b) const;
+
+  /// Plans sharing work with `p`, as (other plan, saving value) pairs.
+  const std::vector<std::pair<PlanId, double>>& savings_of(PlanId p) const {
+    return savings_adj_[static_cast<size_t>(p)];
+  }
+
+  /// Sum of savings incident to plan `p`.
+  double accumulated_saving_of(PlanId p) const;
+
+  /// Human-readable one-line summary, e.g. "MQO(20 queries, 40 plans, 35 savings)".
+  std::string Summary() const;
+
+ private:
+  static uint64_t PairKey(PlanId a, PlanId b);
+
+  // Per plan.
+  std::vector<double> plan_cost_;
+  std::vector<QueryId> plan_query_;
+  std::vector<std::vector<std::pair<PlanId, double>>> savings_adj_;
+
+  // Per query.
+  std::vector<PlanId> query_first_plan_;
+  std::vector<int> query_num_plans_;
+
+  // Savings, deduplicated by unordered plan pair.
+  std::vector<Saving> savings_;
+  std::unordered_map<uint64_t, size_t> saving_index_;
+
+  double max_plan_cost_ = 0.0;
+};
+
+}  // namespace mqo
+}  // namespace qmqo
+
+#endif  // QMQO_MQO_PROBLEM_H_

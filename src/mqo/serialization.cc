@@ -1,0 +1,118 @@
+#include "mqo/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace mqo {
+
+std::string ToText(const MqoProblem& problem) {
+  std::string out = "mqo v1\n";
+  for (QueryId q = 0; q < problem.num_queries(); ++q) {
+    out += "query";
+    for (int i = 0; i < problem.num_plans_of(q); ++i) {
+      out += StrFormat(" %.17g", problem.plan_cost(problem.first_plan(q) + i));
+    }
+    out += "\n";
+  }
+  for (const Saving& s : problem.savings()) {
+    out += StrFormat("saving %d %d %.17g\n", s.plan_a, s.plan_b, s.value);
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<MqoProblem> FromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  bool saw_end = false;
+  MqoProblem problem;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != "mqo v1") {
+        return Status::InvalidArgument(
+            StrFormat("line %d: expected header 'mqo v1'", line_no));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields.empty()) continue;
+    if (fields[0] == "query") {
+      std::vector<double> costs;
+      for (size_t i = 1; i < fields.size(); ++i) {
+        if (fields[i].empty()) continue;
+        char* end = nullptr;
+        double v = std::strtod(fields[i].c_str(), &end);
+        if (end == fields[i].c_str() || *end != '\0') {
+          return Status::InvalidArgument(
+              StrFormat("line %d: bad cost '%s'", line_no, fields[i].c_str()));
+        }
+        costs.push_back(v);
+      }
+      if (costs.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: query with no plans", line_no));
+      }
+      problem.AddQuery(std::move(costs));
+    } else if (fields[0] == "saving") {
+      if (fields.size() < 4) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: saving needs 3 fields", line_no));
+      }
+      int a = std::atoi(fields[1].c_str());
+      int b = std::atoi(fields[2].c_str());
+      double v = std::strtod(fields[3].c_str(), nullptr);
+      Status s = problem.AddSaving(a, b, v);
+      if (!s.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: %s", line_no, s.message().c_str()));
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unknown directive '%s'", line_no,
+                    fields[0].c_str()));
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("missing 'mqo v1' header");
+  if (!saw_end) return Status::InvalidArgument("missing 'end' terminator");
+  QMQO_RETURN_IF_ERROR(problem.Validate());
+  return problem;
+}
+
+Status SaveToFile(const MqoProblem& problem, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  out << ToText(problem);
+  if (!out) {
+    return Status::Internal(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<MqoProblem> LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromText(buffer.str());
+}
+
+}  // namespace mqo
+}  // namespace qmqo

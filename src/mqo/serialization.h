@@ -1,0 +1,37 @@
+#ifndef QMQO_MQO_SERIALIZATION_H_
+#define QMQO_MQO_SERIALIZATION_H_
+
+/// \file serialization.h
+/// A small line-oriented text format for MQO instances so workloads can be
+/// saved, diffed, and replayed across benchmark runs.
+///
+/// Format (comments start with '#'):
+///   mqo v1
+///   query <cost_1> <cost_2> ...        # one line per query, in id order
+///   saving <plan_a> <plan_b> <value>   # one line per saving
+///   end
+
+#include <string>
+
+#include "mqo/problem.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace mqo {
+
+/// Serializes `problem` into the v1 text format.
+std::string ToText(const MqoProblem& problem);
+
+/// Parses the v1 text format; validates the reconstructed instance.
+Result<MqoProblem> FromText(const std::string& text);
+
+/// Writes `ToText(problem)` to `path`.
+Status SaveToFile(const MqoProblem& problem, const std::string& path);
+
+/// Reads and parses an instance from `path`.
+Result<MqoProblem> LoadFromFile(const std::string& path);
+
+}  // namespace mqo
+}  // namespace qmqo
+
+#endif  // QMQO_MQO_SERIALIZATION_H_

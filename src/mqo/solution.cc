@@ -1,0 +1,142 @@
+#include "mqo/solution.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace mqo {
+
+bool MqoSolution::IsComplete() const {
+  for (PlanId p : selected_) {
+    if (p == kUnselected) return false;
+  }
+  return true;
+}
+
+Status ValidateSolution(const MqoProblem& problem,
+                        const MqoSolution& solution) {
+  if (solution.num_queries() != problem.num_queries()) {
+    return Status::InvalidArgument(
+        StrFormat("solution covers %d queries, problem has %d",
+                  solution.num_queries(), problem.num_queries()));
+  }
+  for (QueryId q = 0; q < problem.num_queries(); ++q) {
+    PlanId p = solution.selected(q);
+    if (p == MqoSolution::kUnselected) {
+      return Status::FailedPrecondition(
+          StrFormat("query %d has no selected plan", q));
+    }
+    if (p < 0 || p >= problem.num_plans() || problem.query_of(p) != q) {
+      return Status::InvalidArgument(
+          StrFormat("plan %d is not a plan of query %d", p, q));
+    }
+  }
+  return Status::OK();
+}
+
+double EvaluateCost(const MqoProblem& problem, const MqoSolution& solution) {
+  std::vector<uint8_t> chosen(static_cast<size_t>(problem.num_plans()), 0);
+  double cost = 0.0;
+  for (QueryId q = 0; q < solution.num_queries(); ++q) {
+    PlanId p = solution.selected(q);
+    if (p == MqoSolution::kUnselected) continue;
+    chosen[static_cast<size_t>(p)] = 1;
+    cost += problem.plan_cost(p);
+  }
+  for (const Saving& s : problem.savings()) {
+    if (chosen[static_cast<size_t>(s.plan_a)] &&
+        chosen[static_cast<size_t>(s.plan_b)]) {
+      cost -= s.value;
+    }
+  }
+  return cost;
+}
+
+int SwapDescent(const MqoProblem& problem, MqoSolution* solution) {
+  IncrementalCostEvaluator eval(problem);
+  eval.Reset(*solution);
+  int swaps = 0;
+  while (true) {
+    QueryId best_query = -1;
+    PlanId best_plan = -1;
+    double best_delta = -1e-12;
+    for (QueryId q = 0; q < problem.num_queries(); ++q) {
+      for (int k = 0; k < problem.num_plans_of(q); ++k) {
+        PlanId p = problem.first_plan(q) + k;
+        if (p == eval.selected(q)) continue;
+        double delta = eval.SwapDelta(q, p);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_query = q;
+          best_plan = p;
+        }
+      }
+    }
+    if (best_query < 0) break;
+    eval.ApplySwap(best_query, best_plan);
+    ++swaps;
+  }
+  if (swaps > 0) *solution = eval.ToSolution();
+  return swaps;
+}
+
+IncrementalCostEvaluator::IncrementalCostEvaluator(const MqoProblem& problem)
+    : problem_(problem),
+      selected_(static_cast<size_t>(problem.num_queries()),
+                MqoSolution::kUnselected),
+      is_chosen_(static_cast<size_t>(problem.num_plans()), 0) {}
+
+void IncrementalCostEvaluator::Reset(const MqoSolution& solution) {
+  assert(solution.num_queries() == problem_.num_queries());
+  std::fill(is_chosen_.begin(), is_chosen_.end(), 0);
+  for (QueryId q = 0; q < problem_.num_queries(); ++q) {
+    selected_[static_cast<size_t>(q)] = solution.selected(q);
+    if (solution.selected(q) != MqoSolution::kUnselected) {
+      is_chosen_[static_cast<size_t>(solution.selected(q))] = 1;
+    }
+  }
+  cost_ = EvaluateCost(problem_, solution);
+}
+
+double IncrementalCostEvaluator::SwapDelta(QueryId q, PlanId new_plan) const {
+  PlanId old_plan = selected_[static_cast<size_t>(q)];
+  if (old_plan == new_plan) return 0.0;
+  double delta = problem_.plan_cost(new_plan);
+  if (old_plan != MqoSolution::kUnselected) {
+    delta -= problem_.plan_cost(old_plan);
+    // Savings lost by dropping old_plan (links to plans that stay selected).
+    for (const auto& [other, value] : problem_.savings_of(old_plan)) {
+      if (is_chosen_[static_cast<size_t>(other)]) delta += value;
+    }
+  }
+  // Savings gained by adding new_plan. Note old_plan is still flagged chosen
+  // here; a link new_plan<->old_plan is impossible (same query), so the sum
+  // is unaffected by the ordering of the swap's two halves.
+  for (const auto& [other, value] : problem_.savings_of(new_plan)) {
+    if (is_chosen_[static_cast<size_t>(other)]) delta -= value;
+  }
+  return delta;
+}
+
+void IncrementalCostEvaluator::ApplySwap(QueryId q, PlanId new_plan) {
+  PlanId old_plan = selected_[static_cast<size_t>(q)];
+  if (old_plan == new_plan) return;
+  cost_ += SwapDelta(q, new_plan);
+  if (old_plan != MqoSolution::kUnselected) {
+    is_chosen_[static_cast<size_t>(old_plan)] = 0;
+  }
+  is_chosen_[static_cast<size_t>(new_plan)] = 1;
+  selected_[static_cast<size_t>(q)] = new_plan;
+}
+
+MqoSolution IncrementalCostEvaluator::ToSolution() const {
+  MqoSolution out(problem_.num_queries());
+  for (QueryId q = 0; q < problem_.num_queries(); ++q) {
+    out.Select(q, selected_[static_cast<size_t>(q)]);
+  }
+  return out;
+}
+
+}  // namespace mqo
+}  // namespace qmqo

@@ -1,0 +1,94 @@
+#include "mqo/task_model.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace mqo {
+
+Result<TaskReduction> ReduceToPairwise(const TaskBasedProblem& tasks) {
+  if (tasks.num_queries() == 0) {
+    return Status::InvalidArgument("task problem has no queries");
+  }
+  for (double cost : tasks.task_costs) {
+    if (cost < 0.0) {
+      return Status::InvalidArgument("task costs must be non-negative");
+    }
+  }
+  TaskReduction out;
+  out.num_original_queries = tasks.num_queries();
+
+  // Original queries: plan cost = sum of its (deduplicated) task costs.
+  std::vector<std::vector<std::vector<int>>> plan_tasks = tasks.plans_of;
+  for (int q = 0; q < tasks.num_queries(); ++q) {
+    if (plan_tasks[static_cast<size_t>(q)].empty()) {
+      return Status::InvalidArgument(StrFormat("query %d has no plans", q));
+    }
+    std::vector<double> costs;
+    for (auto& task_set : plan_tasks[static_cast<size_t>(q)]) {
+      std::sort(task_set.begin(), task_set.end());
+      task_set.erase(std::unique(task_set.begin(), task_set.end()),
+                     task_set.end());
+      double cost = 0.0;
+      for (int t : task_set) {
+        if (t < 0 || t >= tasks.num_tasks()) {
+          return Status::OutOfRange(
+              StrFormat("query %d references task %d", q, t));
+        }
+        cost += tasks.task_costs[static_cast<size_t>(t)];
+      }
+      costs.push_back(cost);
+    }
+    out.problem.AddQuery(std::move(costs));
+  }
+  // Intermediate-result queries: {materialize (c_t), skip (0)}.
+  for (int t = 0; t < tasks.num_tasks(); ++t) {
+    out.problem.AddQuery({tasks.task_costs[static_cast<size_t>(t)], 0.0});
+  }
+  // Savings: c_t between the materialize plan and every plan containing t.
+  for (int q = 0; q < tasks.num_queries(); ++q) {
+    for (size_t k = 0; k < plan_tasks[static_cast<size_t>(q)].size(); ++k) {
+      PlanId plan = out.problem.first_plan(q) + static_cast<PlanId>(k);
+      for (int t : plan_tasks[static_cast<size_t>(q)][k]) {
+        double cost = tasks.task_costs[static_cast<size_t>(t)];
+        if (cost <= 0.0) continue;  // free tasks need no sharing bookkeeping
+        QMQO_RETURN_IF_ERROR(
+            out.problem.AddSaving(plan, out.materialize_plan(t), cost));
+      }
+    }
+  }
+  QMQO_RETURN_IF_ERROR(out.problem.Validate());
+  return out;
+}
+
+double EvaluateTaskCost(const TaskBasedProblem& tasks,
+                        const std::vector<int>& selection) {
+  std::vector<uint8_t> used(tasks.task_costs.size(), 0);
+  for (int q = 0; q < tasks.num_queries(); ++q) {
+    const auto& task_set =
+        tasks.plans_of[static_cast<size_t>(q)]
+                      [static_cast<size_t>(selection[static_cast<size_t>(q)])];
+    for (int t : task_set) {
+      used[static_cast<size_t>(t)] = 1;
+    }
+  }
+  double cost = 0.0;
+  for (size_t t = 0; t < used.size(); ++t) {
+    if (used[t]) cost += tasks.task_costs[t];
+  }
+  return cost;
+}
+
+std::vector<int> OriginalSelection(const TaskReduction& reduction,
+                                   const MqoSolution& solution) {
+  std::vector<int> out(static_cast<size_t>(reduction.num_original_queries));
+  for (int q = 0; q < reduction.num_original_queries; ++q) {
+    out[static_cast<size_t>(q)] =
+        solution.selected(q) - reduction.problem.first_plan(q);
+  }
+  return out;
+}
+
+}  // namespace mqo
+}  // namespace qmqo

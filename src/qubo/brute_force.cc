@@ -1,0 +1,44 @@
+#include "qubo/brute_force.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace qubo {
+
+Result<QuboExhaustiveResult> SolveExhaustive(const QuboProblem& qubo,
+                                             int max_vars,
+                                             double tie_epsilon) {
+  int n = qubo.num_vars();
+  if (n > max_vars) {
+    return Status::ResourceExhausted(
+        StrFormat("QUBO has %d vars, exhaustive limit is %d", n, max_vars));
+  }
+  std::vector<uint8_t> x(static_cast<size_t>(n), 0);
+  double energy = qubo.Energy(x);  // all-zero assignment: 0, but stay generic
+
+  QuboExhaustiveResult best;
+  best.assignment = x;
+  best.energy = energy;
+  best.num_optima = 1;
+
+  // Gray-code enumeration: state k differs from k-1 in bit ctz(k).
+  uint64_t total = n >= 64 ? 0 : (1ull << n);
+  for (uint64_t k = 1; k < total; ++k) {
+    int bit = __builtin_ctzll(k);
+    energy += qubo.FlipDelta(x, bit);
+    x[static_cast<size_t>(bit)] ^= 1;
+    if (energy < best.energy - tie_epsilon) {
+      best.energy = energy;
+      best.assignment = x;
+      best.num_optima = 1;
+    } else if (std::fabs(energy - best.energy) <= tie_epsilon) {
+      ++best.num_optima;
+    }
+  }
+  return best;
+}
+
+}  // namespace qubo
+}  // namespace qmqo

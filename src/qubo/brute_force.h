@@ -1,0 +1,35 @@
+#ifndef QMQO_QUBO_BRUTE_FORCE_H_
+#define QMQO_QUBO_BRUTE_FORCE_H_
+
+/// \file brute_force.h
+/// Exhaustive QUBO minimization, the ground truth for mapping and annealer
+/// tests. Uses a Gray-code walk so consecutive states differ in one bit and
+/// each step costs O(degree) via `FlipDelta`.
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace qubo {
+
+/// Result of exhaustive minimization.
+struct QuboExhaustiveResult {
+  std::vector<uint8_t> assignment;
+  double energy = 0.0;
+  /// Number of optimal assignments encountered (detects degeneracy).
+  int num_optima = 1;
+};
+
+/// Enumerates all 2^n assignments; fails with ResourceExhausted when
+/// n > `max_vars` (default 26). Ties within `tie_epsilon` count as co-optima.
+Result<QuboExhaustiveResult> SolveExhaustive(const QuboProblem& qubo,
+                                             int max_vars = 26,
+                                             double tie_epsilon = 1e-9);
+
+}  // namespace qubo
+}  // namespace qmqo
+
+#endif  // QMQO_QUBO_BRUTE_FORCE_H_

@@ -1,0 +1,83 @@
+#include "qubo/serialization.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace qubo {
+
+std::string ToText(const QuboProblem& problem) {
+  std::string out = StrFormat("qubo v1 %d\n", problem.num_vars());
+  for (VarId i = 0; i < problem.num_vars(); ++i) {
+    if (problem.linear(i) != 0.0) {
+      out += StrFormat("lin %d %.17g\n", i, problem.linear(i));
+    }
+  }
+  for (const Interaction& term : problem.interactions()) {
+    if (term.weight != 0.0) {
+      out += StrFormat("quad %d %d %.17g\n", term.i, term.j, term.weight);
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<QuboProblem> FromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  int num_vars = 0;
+  QuboProblem problem(0);
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, ' ');
+    if (!saw_header) {
+      if (fields.size() != 3 || fields[0] != "qubo" || fields[1] != "v1") {
+        return Status::InvalidArgument(
+            StrFormat("line %d: expected 'qubo v1 <num_vars>'", line_no));
+      }
+      num_vars = std::atoi(fields[2].c_str());
+      if (num_vars < 0) {
+        return Status::InvalidArgument("negative variable count");
+      }
+      problem = QuboProblem(num_vars);
+      saw_header = true;
+      continue;
+    }
+    if (fields[0] == "end") {
+      saw_end = true;
+      break;
+    }
+    if (fields[0] == "lin" && fields.size() >= 3) {
+      int i = std::atoi(fields[1].c_str());
+      if (i < 0 || i >= num_vars) {
+        return Status::OutOfRange(StrFormat("line %d: var %d", line_no, i));
+      }
+      problem.AddLinear(i, std::strtod(fields[2].c_str(), nullptr));
+    } else if (fields[0] == "quad" && fields.size() >= 4) {
+      int i = std::atoi(fields[1].c_str());
+      int j = std::atoi(fields[2].c_str());
+      if (i < 0 || i >= num_vars || j < 0 || j >= num_vars || i == j) {
+        return Status::OutOfRange(
+            StrFormat("line %d: pair (%d, %d)", line_no, i, j));
+      }
+      problem.AddQuadratic(i, j, std::strtod(fields[3].c_str(), nullptr));
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unknown directive '%s'", line_no,
+                    fields[0].c_str()));
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("missing header");
+  if (!saw_end) return Status::InvalidArgument("missing 'end'");
+  return problem;
+}
+
+}  // namespace qubo
+}  // namespace qmqo

@@ -1,0 +1,29 @@
+#ifndef QMQO_QUBO_SERIALIZATION_H_
+#define QMQO_QUBO_SERIALIZATION_H_
+
+/// \file serialization.h
+/// Text serialization for QUBO instances in a qbsolv-style coordinate
+/// format, so embedded problems can be inspected or replayed:
+///   qubo v1 <num_vars>
+///   lin <i> <w>
+///   quad <i> <j> <w>
+///   end
+
+#include <string>
+
+#include "qubo/qubo.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace qubo {
+
+/// Serializes `problem` (only nonzero terms are emitted).
+std::string ToText(const QuboProblem& problem);
+
+/// Parses the v1 text format.
+Result<QuboProblem> FromText(const std::string& text);
+
+}  // namespace qubo
+}  // namespace qmqo
+
+#endif  // QMQO_QUBO_SERIALIZATION_H_

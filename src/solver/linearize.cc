@@ -1,0 +1,106 @@
+#include "solver/linearize.h"
+
+namespace qmqo {
+namespace solver {
+
+MqoIlp MqoToIlp(const mqo::MqoProblem& problem) {
+  MqoIlp out;
+  out.num_plan_vars = problem.num_plans();
+  // x variables: binary, objective = plan cost.
+  for (mqo::PlanId p = 0; p < problem.num_plans(); ++p) {
+    int var = out.model.AddVariable(0.0, 1.0, problem.plan_cost(p));
+    out.model.MarkInteger(var);
+  }
+  // One-plan-per-query rows.
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    Constraint row;
+    row.sense = ConstraintSense::kEqual;
+    row.rhs = 1.0;
+    for (int i = 0; i < problem.num_plans_of(q); ++i) {
+      row.terms.push_back(LinearTerm{problem.first_plan(q) + i, 1.0});
+    }
+    out.model.AddConstraint(std::move(row));
+  }
+  // y variables and linking rows per saving.
+  for (const mqo::Saving& saving : problem.savings()) {
+    int y = out.model.AddVariable(0.0, 1.0, -saving.value);
+    Constraint le_a;
+    le_a.sense = ConstraintSense::kLessEqual;
+    le_a.rhs = 0.0;
+    le_a.terms = {LinearTerm{y, 1.0}, LinearTerm{saving.plan_a, -1.0}};
+    out.model.AddConstraint(std::move(le_a));
+    Constraint le_b;
+    le_b.sense = ConstraintSense::kLessEqual;
+    le_b.rhs = 0.0;
+    le_b.terms = {LinearTerm{y, 1.0}, LinearTerm{saving.plan_b, -1.0}};
+    out.model.AddConstraint(std::move(le_b));
+  }
+  return out;
+}
+
+mqo::MqoSolution IlpValuesToSolution(const mqo::MqoProblem& problem,
+                                     const std::vector<double>& values) {
+  mqo::MqoSolution solution(problem.num_queries());
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    mqo::PlanId best = problem.first_plan(q);
+    double best_value = -1.0;
+    for (int i = 0; i < problem.num_plans_of(q); ++i) {
+      mqo::PlanId p = problem.first_plan(q) + i;
+      double value = values[static_cast<size_t>(p)];
+      if (value > best_value) {
+        best_value = value;
+        best = p;
+      }
+    }
+    solution.Select(q, best);
+  }
+  return solution;
+}
+
+QuboIlp QuboToIlp(const qubo::QuboProblem& problem) {
+  QuboIlp out;
+  out.num_qubo_vars = problem.num_vars();
+  for (qubo::VarId i = 0; i < problem.num_vars(); ++i) {
+    int var = out.model.AddVariable(0.0, 1.0, problem.linear(i));
+    out.model.MarkInteger(var);
+  }
+  for (const qubo::Interaction& term : problem.interactions()) {
+    if (term.weight == 0.0) continue;
+    int y = out.model.AddVariable(0.0, 1.0, term.weight);
+    if (term.weight < 0.0) {
+      // Minimization pulls y up; cap it at both factors.
+      Constraint le_i;
+      le_i.sense = ConstraintSense::kLessEqual;
+      le_i.rhs = 0.0;
+      le_i.terms = {LinearTerm{y, 1.0}, LinearTerm{term.i, -1.0}};
+      out.model.AddConstraint(std::move(le_i));
+      Constraint le_j;
+      le_j.sense = ConstraintSense::kLessEqual;
+      le_j.rhs = 0.0;
+      le_j.terms = {LinearTerm{y, 1.0}, LinearTerm{term.j, -1.0}};
+      out.model.AddConstraint(std::move(le_j));
+    } else {
+      // Minimization pulls y down; force y >= x_i + x_j − 1.
+      Constraint ge;
+      ge.sense = ConstraintSense::kGreaterEqual;
+      ge.rhs = -1.0;
+      ge.terms = {LinearTerm{y, 1.0}, LinearTerm{term.i, -1.0},
+                  LinearTerm{term.j, -1.0}};
+      out.model.AddConstraint(std::move(ge));
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> IlpValuesToAssignment(int num_qubo_vars,
+                                           const std::vector<double>& values) {
+  std::vector<uint8_t> assignment(static_cast<size_t>(num_qubo_vars), 0);
+  for (int i = 0; i < num_qubo_vars; ++i) {
+    assignment[static_cast<size_t>(i)] =
+        values[static_cast<size_t>(i)] > 0.5 ? 1 : 0;
+  }
+  return assignment;
+}
+
+}  // namespace solver
+}  // namespace qmqo

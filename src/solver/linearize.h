@@ -1,0 +1,61 @@
+#ifndef QMQO_SOLVER_LINEARIZE_H_
+#define QMQO_SOLVER_LINEARIZE_H_
+
+/// \file linearize.h
+/// Integer-linear-program formulations:
+///
+///  * `MqoToIlp` — the native MQO model the paper solves as "LIN-MQO":
+///      min  sum c_p x_p − sum s_{ab} y_{ab}
+///      s.t. sum_{p in P_q} x_p = 1            for every query q
+///           y_{ab} <= x_a,  y_{ab} <= x_b     for every saving (a, b)
+///      with x binary and y continuous in [0,1] (automatically integral at
+///      the optimum because every y has a negative objective coefficient).
+///
+///  * `QuboToIlp` — the linear QUBO reformulation of Dash (arXiv 1306.1202)
+///    the paper uses for "LIN-QUB": one product variable y_ij per quadratic
+///    term; negative-weight terms need y <= x_i, y <= x_j, positive-weight
+///    terms need y >= x_i + x_j − 1 (the minimization pulls each y to the
+///    correct side).
+
+#include <vector>
+
+#include "mqo/problem.h"
+#include "mqo/solution.h"
+#include "qubo/qubo.h"
+#include "solver/lp.h"
+
+namespace qmqo {
+namespace solver {
+
+/// An ILP plus the bookkeeping to map solutions back to plan selections.
+struct MqoIlp {
+  LpModel model;
+  /// model variable index of plan p (the first num_plans variables).
+  int num_plan_vars = 0;
+};
+
+/// Builds the LIN-MQO model.
+MqoIlp MqoToIlp(const mqo::MqoProblem& problem);
+
+/// Extracts the plan selection from ILP values (x variables first).
+mqo::MqoSolution IlpValuesToSolution(const mqo::MqoProblem& problem,
+                                     const std::vector<double>& values);
+
+/// An ILP over QUBO variables.
+struct QuboIlp {
+  LpModel model;
+  /// model variable index of QUBO variable i (the first num_vars variables).
+  int num_qubo_vars = 0;
+};
+
+/// Builds the LIN-QUB model.
+QuboIlp QuboToIlp(const qubo::QuboProblem& problem);
+
+/// Extracts the binary assignment from ILP values.
+std::vector<uint8_t> IlpValuesToAssignment(int num_qubo_vars,
+                                           const std::vector<double>& values);
+
+}  // namespace solver
+}  // namespace qmqo
+
+#endif  // QMQO_SOLVER_LINEARIZE_H_

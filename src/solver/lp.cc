@@ -1,0 +1,67 @@
+#include "solver/lp.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace solver {
+
+int LpModel::AddVariable(double lower, double upper, double objective) {
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  objective_.push_back(objective);
+  is_integer_.push_back(false);
+  return num_vars() - 1;
+}
+
+void LpModel::AddConstraint(Constraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+std::vector<int> LpModel::IntegerVars() const {
+  std::vector<int> out;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (is_integer_[static_cast<size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+Status LpModel::Validate() const {
+  for (int v = 0; v < num_vars(); ++v) {
+    if (std::isnan(lower(v)) || std::isnan(upper(v))) {
+      return Status::InvalidArgument(StrFormat("variable %d has NaN bound", v));
+    }
+    if (lower(v) > upper(v)) {
+      return Status::InvalidArgument(
+          StrFormat("variable %d has empty domain [%g, %g]", v, lower(v),
+                    upper(v)));
+    }
+  }
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    for (const LinearTerm& term : constraints_[c].terms) {
+      if (term.var < 0 || term.var >= num_vars()) {
+        return Status::OutOfRange(
+            StrFormat("constraint %zu references variable %d", c, term.var));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const char* LpStatusToString(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace solver
+}  // namespace qmqo

@@ -1,0 +1,117 @@
+#ifndef QMQO_SOLVER_LP_H_
+#define QMQO_SOLVER_LP_H_
+
+/// \file lp.h
+/// Linear-program model used by the from-scratch simplex and MIP solvers
+/// (the reproduction's stand-in for the commercial ILP solver used in the
+/// paper's experiments).
+///
+/// Minimization form:   min c.x   s.t.  A x {<=,>=,=} b,  lo <= x <= up.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qmqo {
+namespace solver {
+
+/// Relation of a row to its right-hand side.
+enum class ConstraintSense {
+  kLessEqual,
+  kGreaterEqual,
+  kEqual,
+};
+
+/// One nonzero of a constraint row.
+struct LinearTerm {
+  int var = -1;
+  double coeff = 0.0;
+};
+
+/// One constraint row.
+struct Constraint {
+  std::vector<LinearTerm> terms;
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Marker for "no upper bound".
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A mutable LP/MIP model. Variables are added with bounds and objective
+/// coefficients; `MarkInteger` flags integrality for the MIP solver (the
+/// LP solver ignores the flag).
+class LpModel {
+ public:
+  LpModel() = default;
+
+  /// Adds a variable with bounds [lower, upper] and objective coefficient
+  /// `objective`; returns its index.
+  int AddVariable(double lower, double upper, double objective);
+
+  /// Appends a constraint row. Terms may repeat a variable (coefficients
+  /// accumulate during standardization).
+  void AddConstraint(Constraint constraint);
+
+  /// Flags a variable as integral.
+  void MarkInteger(int var) { is_integer_[static_cast<size_t>(var)] = true; }
+
+  int num_vars() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  double lower(int var) const { return lower_[static_cast<size_t>(var)]; }
+  double upper(int var) const { return upper_[static_cast<size_t>(var)]; }
+  double objective(int var) const {
+    return objective_[static_cast<size_t>(var)];
+  }
+  bool is_integer(int var) const {
+    return is_integer_[static_cast<size_t>(var)];
+  }
+
+  /// Mutators used by branch-and-bound to tighten bounds along branches.
+  void SetLower(int var, double lower) {
+    lower_[static_cast<size_t>(var)] = lower;
+  }
+  void SetUpper(int var, double upper) {
+    upper_[static_cast<size_t>(var)] = upper;
+  }
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// All indices flagged integral.
+  std::vector<int> IntegerVars() const;
+
+  /// Structural checks (bound sanity, term indices in range).
+  Status Validate() const;
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> objective_;
+  std::vector<bool> is_integer_;
+  std::vector<Constraint> constraints_;
+};
+
+/// Outcome of an LP solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* LpStatusToString(LpStatus status);
+
+/// An LP solution.
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;
+};
+
+}  // namespace solver
+}  // namespace qmqo
+
+#endif  // QMQO_SOLVER_LP_H_

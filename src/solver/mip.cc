@@ -1,0 +1,112 @@
+#include "solver/mip.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/stopwatch.h"
+
+namespace qmqo {
+namespace solver {
+namespace {
+
+struct SearchState {
+  const MipOptions* options = nullptr;
+  LpModel* model = nullptr;
+  SimplexSolver lp{SimplexOptions()};
+  std::vector<int> integer_vars;
+  Stopwatch clock;
+  MipResult result;
+  const MipProgressCallback* callback = nullptr;
+  bool aborted = false;
+};
+
+/// Returns the integer variable with the most fractional LP value, or -1
+/// when the relaxation is integral.
+int PickBranchVar(const SearchState& state, const std::vector<double>& values,
+                  double tol) {
+  int best = -1;
+  double best_score = tol;
+  for (int v : state.integer_vars) {
+    double value = values[static_cast<size_t>(v)];
+    double frac = value - std::floor(value);
+    double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+void Search(SearchState* state) {
+  if (state->aborted) return;
+  if (state->clock.ElapsedMillis() > state->options->time_limit_ms ||
+      state->result.nodes >= state->options->max_nodes) {
+    state->aborted = true;
+    return;
+  }
+  ++state->result.nodes;
+
+  LpSolution relaxation = state->lp.Solve(*state->model);
+  if (relaxation.status == LpStatus::kInfeasible) return;
+  if (relaxation.status != LpStatus::kOptimal) {
+    // Unbounded relaxations cannot occur for bounded MQO/QUBO models;
+    // iteration limits are treated as a node failure (prune).
+    return;
+  }
+  // Bound pruning.
+  if (state->result.feasible &&
+      relaxation.objective >=
+          state->result.objective - state->options->integrality_tolerance) {
+    return;
+  }
+  int branch_var = PickBranchVar(*state, relaxation.values,
+                                 state->options->integrality_tolerance);
+  if (branch_var < 0) {
+    // Integral: new incumbent (bound pruning above ensures improvement).
+    state->result.feasible = true;
+    state->result.objective = relaxation.objective;
+    state->result.values = relaxation.values;
+    state->result.time_to_best_ms = state->clock.ElapsedMillis();
+    if (state->callback && *state->callback) {
+      (*state->callback)(state->result.time_to_best_ms, relaxation.objective,
+                         relaxation.values);
+    }
+    return;
+  }
+
+  double value = relaxation.values[static_cast<size_t>(branch_var)];
+  double old_lower = state->model->lower(branch_var);
+  double old_upper = state->model->upper(branch_var);
+
+  // Down branch: x <= floor(value).
+  state->model->SetUpper(branch_var, std::floor(value));
+  Search(state);
+  state->model->SetUpper(branch_var, old_upper);
+
+  // Up branch: x >= ceil(value).
+  state->model->SetLower(branch_var, std::ceil(value));
+  Search(state);
+  state->model->SetLower(branch_var, old_lower);
+}
+
+}  // namespace
+
+MipResult MipSolver::Solve(LpModel* model,
+                           const MipProgressCallback& on_incumbent) const {
+  SearchState state;
+  state.options = &options_;
+  state.model = model;
+  state.lp = SimplexSolver(options_.simplex);
+  state.integer_vars = model->IntegerVars();
+  state.callback = &on_incumbent;
+
+  Search(&state);
+
+  state.result.proven_optimal = state.result.feasible && !state.aborted;
+  state.result.total_time_ms = state.clock.ElapsedMillis();
+  return state.result;
+}
+
+}  // namespace solver
+}  // namespace qmqo

@@ -1,0 +1,66 @@
+#ifndef QMQO_SOLVER_MIP_H_
+#define QMQO_SOLVER_MIP_H_
+
+/// \file mip.h
+/// A small branch-and-bound mixed-integer solver on top of the simplex
+/// LP solver: LP-relaxation bounds, most-fractional branching, depth-first
+/// search with incumbent pruning. Anytime: reports every improved
+/// incumbent through a callback with its wall-clock timestamp.
+
+#include <functional>
+#include <vector>
+
+#include "solver/lp.h"
+#include "solver/simplex.h"
+
+namespace qmqo {
+namespace solver {
+
+/// Options for `MipSolver`.
+struct MipOptions {
+  /// Wall-clock budget; the solver returns its incumbent when exceeded.
+  double time_limit_ms = 1e12;
+  /// Node budget.
+  int64_t max_nodes = INT64_MAX;
+  /// Integrality tolerance.
+  double integrality_tolerance = 1e-6;
+  SimplexOptions simplex;
+};
+
+/// Invoked whenever the incumbent improves: (elapsed ms, objective, values).
+using MipProgressCallback =
+    std::function<void(double, double, const std::vector<double>&)>;
+
+/// Outcome of a MIP solve.
+struct MipResult {
+  /// True when some integral solution was found.
+  bool feasible = false;
+  /// True when optimality was proven within the budget.
+  bool proven_optimal = false;
+  double objective = 0.0;
+  std::vector<double> values;
+  int64_t nodes = 0;
+  /// Time at which the final incumbent was found / proven, ms.
+  double time_to_best_ms = 0.0;
+  double total_time_ms = 0.0;
+};
+
+/// Branch-and-bound solver for models with integer-flagged variables.
+class MipSolver {
+ public:
+  explicit MipSolver(const MipOptions& options = MipOptions())
+      : options_(options) {}
+
+  /// Solves `model` (bounds are restored on return; the model is mutated
+  /// only transiently during the search).
+  MipResult Solve(LpModel* model,
+                  const MipProgressCallback& on_incumbent = nullptr) const;
+
+ private:
+  MipOptions options_;
+};
+
+}  // namespace solver
+}  // namespace qmqo
+
+#endif  // QMQO_SOLVER_MIP_H_

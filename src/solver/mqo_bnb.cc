@@ -1,0 +1,287 @@
+#include "solver/mqo_bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "mqo/clustering.h"
+#include "util/stopwatch.h"
+
+namespace qmqo {
+namespace solver {
+namespace {
+
+using mqo::MqoProblem;
+using mqo::MqoSolution;
+using mqo::PlanId;
+using mqo::QueryId;
+
+/// Greedy plan choice for `q` against the plans flagged in `chosen`.
+PlanId GreedyPick(const MqoProblem& problem, QueryId q,
+                  const std::vector<uint8_t>& chosen, double* marginal_out) {
+  PlanId best = problem.first_plan(q);
+  double best_marginal = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < problem.num_plans_of(q); ++k) {
+    PlanId p = problem.first_plan(q) + k;
+    double marginal = problem.plan_cost(p);
+    for (const auto& [other, value] : problem.savings_of(p)) {
+      if (chosen[static_cast<size_t>(other)]) marginal -= value;
+    }
+    if (marginal < best_marginal) {
+      best_marginal = marginal;
+      best = p;
+    }
+  }
+  if (marginal_out) *marginal_out = best_marginal;
+  return best;
+}
+
+/// Cost of `solution` restricted to the queries of one component (savings
+/// never cross components, so component costs sum to the full cost).
+double ComponentCost(const MqoProblem& problem, const MqoSolution& solution,
+                     const std::vector<QueryId>& queries) {
+  std::vector<uint8_t> chosen(static_cast<size_t>(problem.num_plans()), 0);
+  double cost = 0.0;
+  for (QueryId q : queries) {
+    PlanId p = solution.selected(q);
+    cost += problem.plan_cost(p);
+    chosen[static_cast<size_t>(p)] = 1;
+  }
+  for (QueryId q : queries) {
+    PlanId p = solution.selected(q);
+    for (const auto& [other, value] : problem.savings_of(p)) {
+      if (other > p && chosen[static_cast<size_t>(other)]) cost -= value;
+    }
+  }
+  return cost;
+}
+
+/// Branch-and-bound over one connected component of the sharing graph.
+class ComponentSearch {
+ public:
+  /// `on_improved(component_cost, picks)` fires for every improvement;
+  /// `picks[i]` is the plan chosen for the i-th query in decision order.
+  using ImprovedCallback =
+      std::function<void(double, const std::vector<PlanId>&)>;
+
+  ComponentSearch(const MqoProblem& problem, std::vector<QueryId> queries,
+                  const MqoBnbOptions& options, const Stopwatch& clock,
+                  double initial_bound, ImprovedCallback on_improved,
+                  int64_t* nodes)
+      : problem_(problem),
+        queries_(std::move(queries)),
+        options_(options),
+        clock_(clock),
+        on_improved_(std::move(on_improved)),
+        nodes_(nodes),
+        best_cost_(initial_bound) {
+    chosen_.assign(static_cast<size_t>(problem.num_plans()), 0);
+    // Decide queries in natural (geometric) order: the paper workload
+    // numbers queries by chip location, so this keeps the
+    // decided/undecided frontier local and the bound tight.
+    std::sort(queries_.begin(), queries_.end());
+    decided_.assign(static_cast<size_t>(problem.num_queries()), 0);
+    max_future_.assign(static_cast<size_t>(problem.num_queries()), 0.0);
+    query_rank_.assign(static_cast<size_t>(problem.num_queries()), -1);
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      query_rank_[static_cast<size_t>(queries_[i])] = static_cast<int>(i);
+    }
+  }
+
+  const std::vector<QueryId>& decision_order() const { return queries_; }
+
+  /// Runs the search; returns false when the budget was exhausted
+  /// (incumbents reported so far remain valid).
+  bool Run() {
+    Descend(0, 0.0);
+    return !aborted_;
+  }
+
+ private:
+  double QuerySavingMass(QueryId q) const {
+    double mass = 0.0;
+    for (int i = 0; i < problem_.num_plans_of(q); ++i) {
+      mass += problem_.accumulated_saving_of(problem_.first_plan(q) + i);
+    }
+    return mass;
+  }
+
+  /// Optimistic completion cost of plan `p` (of the query ranked
+  /// `rank_of_q`): exact savings to chosen plans; for each undecided
+  /// partner query ranked earlier, the best single saving at full value.
+  /// Crediting every undecided-undecided pair to exactly one endpoint (the
+  /// later rank) keeps the bound admissible.
+  double OptimisticPlanCost(PlanId p, int rank_of_q) const {
+    double cost = problem_.plan_cost(p);
+    const auto& savings = problem_.savings_of(p);
+    for (const auto& [other, value] : savings) {
+      if (chosen_[static_cast<size_t>(other)]) {
+        cost -= value;
+        continue;
+      }
+      QueryId oq = problem_.query_of(other);
+      if (decided_[static_cast<size_t>(oq)]) continue;  // chose another plan
+      // Credit each undecided-undecided pair once: to the later-ranked
+      // endpoint (full value), keeping the bound admissible.
+      if (query_rank_[static_cast<size_t>(oq)] >= rank_of_q) continue;
+      max_future_[static_cast<size_t>(oq)] =
+          std::max(max_future_[static_cast<size_t>(oq)], value);
+    }
+    for (const auto& [other, value] : savings) {
+      (void)value;
+      QueryId oq = problem_.query_of(other);
+      if (max_future_[static_cast<size_t>(oq)] > 0.0) {
+        cost -= max_future_[static_cast<size_t>(oq)];
+        max_future_[static_cast<size_t>(oq)] = 0.0;
+      }
+    }
+    return cost;
+  }
+
+  /// Admissible lower bound on completing the partial solution.
+  double RemainderBound(int depth) const {
+    double bound = 0.0;
+    for (size_t i = static_cast<size_t>(depth); i < queries_.size(); ++i) {
+      QueryId q = queries_[i];
+      double best = std::numeric_limits<double>::infinity();
+      for (int k = 0; k < problem_.num_plans_of(q); ++k) {
+        best = std::min(best, OptimisticPlanCost(problem_.first_plan(q) + k,
+                                                 static_cast<int>(i)));
+      }
+      bound += best;
+    }
+    return bound;
+  }
+
+  void Descend(int depth, double partial_cost) {
+    if (aborted_) return;
+    if ((*nodes_ & 0x3ff) == 0 &&
+        clock_.ElapsedMillis() > options_.time_limit_ms) {
+      aborted_ = true;
+      return;
+    }
+    if (*nodes_ >= options_.max_nodes) {
+      aborted_ = true;
+      return;
+    }
+    ++*nodes_;
+    if (depth == static_cast<int>(queries_.size())) {
+      if (partial_cost < best_cost_ - 1e-9) {
+        best_cost_ = partial_cost;
+        on_improved_(partial_cost, trail_);
+      }
+      return;
+    }
+    if (partial_cost + RemainderBound(depth) >= best_cost_ - 1e-9) {
+      return;
+    }
+    QueryId q = queries_[static_cast<size_t>(depth)];
+    // Cheapest marginal first, so good incumbents arrive early.
+    std::vector<std::pair<double, PlanId>> ordered;
+    for (int k = 0; k < problem_.num_plans_of(q); ++k) {
+      PlanId p = problem_.first_plan(q) + k;
+      double marginal = problem_.plan_cost(p);
+      for (const auto& [other, value] : problem_.savings_of(p)) {
+        if (chosen_[static_cast<size_t>(other)]) marginal -= value;
+      }
+      ordered.emplace_back(marginal, p);
+    }
+    std::sort(ordered.begin(), ordered.end());
+    decided_[static_cast<size_t>(q)] = 1;
+    for (const auto& [marginal, p] : ordered) {
+      chosen_[static_cast<size_t>(p)] = 1;
+      trail_.push_back(p);
+      Descend(depth + 1, partial_cost + marginal);
+      trail_.pop_back();
+      chosen_[static_cast<size_t>(p)] = 0;
+      if (aborted_) break;
+    }
+    decided_[static_cast<size_t>(q)] = 0;
+  }
+
+  const MqoProblem& problem_;
+  std::vector<QueryId> queries_;
+  const MqoBnbOptions& options_;
+  const Stopwatch& clock_;
+  ImprovedCallback on_improved_;
+  int64_t* nodes_;
+
+  std::vector<uint8_t> chosen_;
+  std::vector<uint8_t> decided_;
+  std::vector<int> query_rank_;
+  std::vector<PlanId> trail_;
+  mutable std::vector<double> max_future_;
+  double best_cost_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+Result<MqoBnbResult> MqoBranchAndBound::Solve(
+    const MqoProblem& problem, const MqoProgressCallback& on_incumbent) const {
+  QMQO_RETURN_IF_ERROR(problem.Validate());
+  Stopwatch clock;
+  MqoBnbResult result;
+  result.solution = MqoSolution(problem.num_queries());
+
+  // Global greedy warm start: a complete valid incumbent from the outset,
+  // so anytime reports always describe full solutions.
+  {
+    std::vector<uint8_t> chosen(static_cast<size_t>(problem.num_plans()), 0);
+    for (QueryId q = 0; q < problem.num_queries(); ++q) {
+      PlanId p = GreedyPick(problem, q, chosen, nullptr);
+      chosen[static_cast<size_t>(p)] = 1;
+      result.solution.Select(q, p);
+    }
+  }
+  double full_cost = mqo::EvaluateCost(problem, result.solution);
+  result.time_to_best_ms = clock.ElapsedMillis();
+  if (on_incumbent) {
+    on_incumbent(result.time_to_best_ms, full_cost, result.solution);
+  }
+
+  mqo::QueryClustering components;
+  if (options_.decompose_components) {
+    components = mqo::ClusterByConnectedComponents(problem);
+  } else {
+    components.members.emplace_back();
+    for (QueryId q = 0; q < problem.num_queries(); ++q) {
+      components.members.back().push_back(q);
+    }
+  }
+
+  bool all_proven = true;
+  for (const auto& member_queries : components.members) {
+    if (clock.ElapsedMillis() > options_.time_limit_ms) {
+      all_proven = false;
+      break;
+    }
+    double baseline = ComponentCost(problem, result.solution, member_queries);
+    double current = baseline;
+    auto on_improved = [&](double component_cost,
+                           const std::vector<PlanId>& picks) {
+      full_cost += component_cost - current;
+      current = component_cost;
+      for (PlanId pick : picks) {
+        result.solution.Select(problem.query_of(pick), pick);
+      }
+      result.time_to_best_ms = clock.ElapsedMillis();
+      if (on_incumbent) {
+        on_incumbent(result.time_to_best_ms, full_cost, result.solution);
+      }
+    };
+    ComponentSearch search(problem, member_queries, options_, clock, baseline,
+                           on_improved, &result.nodes);
+    bool proven = search.Run();
+    all_proven = all_proven && proven;
+  }
+
+  result.cost = mqo::EvaluateCost(problem, result.solution);
+  result.proven_optimal = all_proven;
+  result.total_time_ms = clock.ElapsedMillis();
+  return result;
+}
+
+}  // namespace solver
+}  // namespace qmqo

@@ -1,0 +1,171 @@
+#include "solver/qubo_bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stopwatch.h"
+
+namespace qmqo {
+namespace solver {
+namespace {
+
+class QuboSearch {
+ public:
+  QuboSearch(const qubo::QuboProblem& problem, const QuboBnbOptions& options,
+             const QuboProgressCallback& on_incumbent)
+      : problem_(problem), options_(options), on_incumbent_(on_incumbent) {
+    const int n = problem.num_vars();
+    assignment_.assign(static_cast<size_t>(n), 0);
+    assigned_.assign(static_cast<size_t>(n), 0);
+    // l_i starts at the linear weight and absorbs couplings to assigned
+    // ones as the search descends.
+    field_.assign(static_cast<size_t>(n), 0.0);
+    for (qubo::VarId i = 0; i < n; ++i) {
+      field_[static_cast<size_t>(i)] = problem.linear(i);
+    }
+    // neg_future_[i]: sum of negative couplings from i to unassigned j.
+    neg_future_.assign(static_cast<size_t>(n), 0.0);
+    for (qubo::VarId i = 0; i < n; ++i) {
+      for (const auto& [j, w] : problem.neighbors(i)) {
+        (void)j;
+        if (w < 0.0) neg_future_[static_cast<size_t>(i)] += w;
+      }
+    }
+  }
+
+  QuboBnbResult Run() {
+    // Greedy warm start: descend variables, take the locally better value.
+    std::vector<uint8_t> greedy(assignment_.size(), 0);
+    double greedy_energy = 0.0;
+    for (qubo::VarId i = 0; i < problem_.num_vars(); ++i) {
+      double delta = problem_.FlipDelta(greedy, i);
+      if (delta < 0.0) {
+        greedy[static_cast<size_t>(i)] = 1;
+        greedy_energy += delta;
+      }
+    }
+    best_energy_ = greedy_energy;
+    result_.assignment = greedy;
+    result_.time_to_best_ms = clock_.ElapsedMillis();
+    if (on_incumbent_) {
+      on_incumbent_(result_.time_to_best_ms, best_energy_, greedy);
+    }
+
+    Descend(0, 0.0);
+
+    result_.energy = best_energy_;
+    result_.proven_optimal = !aborted_;
+    result_.total_time_ms = clock_.ElapsedMillis();
+    return result_;
+  }
+
+ private:
+  /// Admissible lower bound: current energy plus, per unassigned variable,
+  /// the best-case contribution of setting it (or 0 for leaving it unset).
+  /// Negative couplings between two unassigned variables are credited to
+  /// both endpoints; that only lowers the bound, keeping it admissible.
+  double Bound(int depth, double energy) const {
+    double bound = energy;
+    for (qubo::VarId i = depth; i < problem_.num_vars(); ++i) {
+      double best = field_[static_cast<size_t>(i)] +
+                    neg_future_[static_cast<size_t>(i)];
+      if (best < 0.0) bound += best;
+    }
+    return bound;
+  }
+
+  void Descend(int depth, double energy) {
+    if (aborted_) return;
+    if ((result_.nodes & 0x7ff) == 0 &&
+        clock_.ElapsedMillis() > options_.time_limit_ms) {
+      aborted_ = true;
+      return;
+    }
+    if (result_.nodes >= options_.max_nodes) {
+      aborted_ = true;
+      return;
+    }
+    ++result_.nodes;
+    if (depth == problem_.num_vars()) {
+      if (energy < best_energy_ - 1e-12) {
+        best_energy_ = energy;
+        result_.assignment = assignment_;
+        result_.time_to_best_ms = clock_.ElapsedMillis();
+        if (on_incumbent_) {
+          on_incumbent_(result_.time_to_best_ms, energy, assignment_);
+        }
+      }
+      return;
+    }
+    if (Bound(depth, energy) >= best_energy_ - 1e-12) return;
+
+    qubo::VarId i = depth;
+    // Remove i's negative couplings from its unassigned neighbors' future
+    // credit (i is now being decided).
+    for (const auto& [j, w] : problem_.neighbors(i)) {
+      if (!assigned_[static_cast<size_t>(j)] && w < 0.0) {
+        neg_future_[static_cast<size_t>(j)] -= w;
+      }
+    }
+    assigned_[static_cast<size_t>(i)] = 1;
+
+    // Try the locally cheaper value first.
+    double set_cost = field_[static_cast<size_t>(i)];
+    for (int round = 0; round < 2; ++round) {
+      bool set_one = (round == 0) == (set_cost < 0.0);
+      assignment_[static_cast<size_t>(i)] = set_one ? 1 : 0;
+      if (set_one) {
+        for (const auto& [j, w] : problem_.neighbors(i)) {
+          if (!assigned_[static_cast<size_t>(j)]) {
+            field_[static_cast<size_t>(j)] += w;
+          }
+        }
+        Descend(depth + 1, energy + set_cost);
+        for (const auto& [j, w] : problem_.neighbors(i)) {
+          if (!assigned_[static_cast<size_t>(j)]) {
+            field_[static_cast<size_t>(j)] -= w;
+          }
+        }
+      } else {
+        Descend(depth + 1, energy);
+      }
+      if (aborted_) break;
+    }
+
+    assigned_[static_cast<size_t>(i)] = 0;
+    assignment_[static_cast<size_t>(i)] = 0;
+    for (const auto& [j, w] : problem_.neighbors(i)) {
+      if (!assigned_[static_cast<size_t>(j)] && w < 0.0) {
+        neg_future_[static_cast<size_t>(j)] += w;
+      }
+    }
+  }
+
+  const qubo::QuboProblem& problem_;
+  const QuboBnbOptions& options_;
+  const QuboProgressCallback& on_incumbent_;
+  Stopwatch clock_;
+  QuboBnbResult result_;
+  std::vector<uint8_t> assignment_;
+  std::vector<uint8_t> assigned_;
+  std::vector<double> field_;
+  std::vector<double> neg_future_;
+  double best_energy_ = std::numeric_limits<double>::infinity();
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+Result<QuboBnbResult> QuboBranchAndBound::Solve(
+    const qubo::QuboProblem& problem,
+    const QuboProgressCallback& on_incumbent) const {
+  if (problem.num_vars() == 0) {
+    return Status::InvalidArgument("empty QUBO");
+  }
+  QuboSearch search(problem, options_, on_incumbent);
+  return search.Run();
+}
+
+}  // namespace solver
+}  // namespace qmqo

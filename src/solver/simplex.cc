@@ -1,0 +1,305 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace qmqo {
+namespace solver {
+namespace {
+
+/// Dense standard-form tableau:  A x = b, x >= 0, minimize c.x.
+struct Tableau {
+  int num_rows = 0;
+  int num_cols = 0;              // structural + slack + artificial columns
+  std::vector<double> a;         // row-major num_rows x num_cols
+  std::vector<double> b;         // rhs, length num_rows
+  std::vector<int> basis;        // basic column per row
+  std::vector<bool> artificial;  // per column
+
+  double& At(int r, int c) { return a[static_cast<size_t>(r) * num_cols + c]; }
+  double At(int r, int c) const {
+    return a[static_cast<size_t>(r) * num_cols + c];
+  }
+
+  void Pivot(int row, int col) {
+    double pivot = At(row, col);
+    assert(std::fabs(pivot) > 1e-12);
+    double inv = 1.0 / pivot;
+    for (int c = 0; c < num_cols; ++c) At(row, c) *= inv;
+    b[static_cast<size_t>(row)] *= inv;
+    for (int r = 0; r < num_rows; ++r) {
+      if (r == row) continue;
+      double factor = At(r, col);
+      if (factor == 0.0) continue;
+      for (int c = 0; c < num_cols; ++c) {
+        At(r, c) -= factor * At(row, c);
+      }
+      b[static_cast<size_t>(r)] -= factor * b[static_cast<size_t>(row)];
+    }
+    basis[static_cast<size_t>(row)] = col;
+  }
+};
+
+/// Runs simplex iterations for objective `cost` (length num_cols).
+/// Returns kOptimal / kUnbounded / kIterationLimit and leaves the optimal
+/// basis in the tableau. Barred columns are never entered.
+LpStatus Iterate(Tableau* t, const std::vector<double>& cost,
+                 const std::vector<bool>& barred,
+                 const SimplexOptions& options) {
+  const double tol = options.tolerance;
+  // Reduced costs are computed on demand: z_j = c_j − c_B . B^-1 A_j. With
+  // a full tableau, B^-1 A_j is simply column j, and c_B are the costs of
+  // basic columns.
+  std::vector<double> y(static_cast<size_t>(t->num_rows));  // c_B per row
+  int degenerate_streak = 0;
+  double last_objective = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int r = 0; r < t->num_rows; ++r) {
+      y[static_cast<size_t>(r)] = cost[static_cast<size_t>(
+          t->basis[static_cast<size_t>(r)])];
+    }
+    bool use_bland = degenerate_streak >= options.degeneracy_threshold;
+    int entering = -1;
+    double best_reduced = -tol;
+    for (int c = 0; c < t->num_cols; ++c) {
+      if (barred[static_cast<size_t>(c)]) continue;
+      double reduced = cost[static_cast<size_t>(c)];
+      for (int r = 0; r < t->num_rows; ++r) {
+        double a_rc = t->At(r, c);
+        if (a_rc != 0.0) reduced -= y[static_cast<size_t>(r)] * a_rc;
+      }
+      if (reduced < best_reduced) {
+        entering = c;
+        if (use_bland) break;  // first eligible column
+        best_reduced = reduced;
+      }
+    }
+    if (entering < 0) return LpStatus::kOptimal;
+
+    // Ratio test.
+    int leaving = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < t->num_rows; ++r) {
+      double a_re = t->At(r, entering);
+      if (a_re > tol) {
+        double ratio = t->b[static_cast<size_t>(r)] / a_re;
+        if (leaving < 0 || ratio < best_ratio - tol ||
+            (std::fabs(ratio - best_ratio) <= tol &&
+             t->basis[static_cast<size_t>(r)] <
+                 t->basis[static_cast<size_t>(leaving)])) {
+          leaving = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leaving < 0) return LpStatus::kUnbounded;
+
+    t->Pivot(leaving, entering);
+
+    double objective = 0.0;
+    for (int r = 0; r < t->num_rows; ++r) {
+      objective += cost[static_cast<size_t>(t->basis[static_cast<size_t>(r)])] *
+                   t->b[static_cast<size_t>(r)];
+    }
+    if (objective < last_objective - tol) {
+      degenerate_streak = 0;
+    } else {
+      ++degenerate_streak;
+    }
+    last_objective = objective;
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+LpSolution SimplexSolver::Solve(const LpModel& model) const {
+  LpSolution out;
+  if (!model.Validate().ok()) {
+    out.status = LpStatus::kInfeasible;
+    return out;
+  }
+  const int n = model.num_vars();
+  const double tol = options_.tolerance;
+
+  // Shift variables to lower bound zero; collect finite upper bounds as
+  // extra <= rows. Objective constant from the shift.
+  std::vector<double> shift(static_cast<size_t>(n));
+  double objective_constant = 0.0;
+  for (int v = 0; v < n; ++v) {
+    shift[static_cast<size_t>(v)] = model.lower(v);
+    objective_constant += model.objective(v) * model.lower(v);
+  }
+
+  struct Row {
+    std::vector<double> coeffs;  // dense over structural vars
+    ConstraintSense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  for (const Constraint& constraint : model.constraints()) {
+    Row row;
+    row.coeffs.assign(static_cast<size_t>(n), 0.0);
+    row.sense = constraint.sense;
+    row.rhs = constraint.rhs;
+    for (const LinearTerm& term : constraint.terms) {
+      row.coeffs[static_cast<size_t>(term.var)] += term.coeff;
+      row.rhs -= term.coeff * shift[static_cast<size_t>(term.var)];
+    }
+    rows.push_back(std::move(row));
+  }
+  for (int v = 0; v < n; ++v) {
+    double span = model.upper(v) - model.lower(v);
+    if (std::isfinite(span)) {
+      Row row;
+      row.coeffs.assign(static_cast<size_t>(n), 0.0);
+      row.coeffs[static_cast<size_t>(v)] = 1.0;
+      row.sense = ConstraintSense::kLessEqual;
+      row.rhs = span;
+      rows.push_back(std::move(row));
+    }
+  }
+  // Non-negative RHS.
+  for (Row& row : rows) {
+    if (row.rhs < 0.0) {
+      for (double& c : row.coeffs) c = -c;
+      row.rhs = -row.rhs;
+      if (row.sense == ConstraintSense::kLessEqual) {
+        row.sense = ConstraintSense::kGreaterEqual;
+      } else if (row.sense == ConstraintSense::kGreaterEqual) {
+        row.sense = ConstraintSense::kLessEqual;
+      }
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  // Column layout: [0, n) structural; then one slack/surplus per row that
+  // needs one; then artificials.
+  int num_slack = 0;
+  for (const Row& row : rows) {
+    if (row.sense != ConstraintSense::kEqual) ++num_slack;
+  }
+  int num_artificial = 0;
+  for (const Row& row : rows) {
+    if (row.sense != ConstraintSense::kLessEqual) ++num_artificial;
+  }
+  // <= rows with rhs >= 0 start with their slack basic; others need the
+  // artificial basic.
+  Tableau t;
+  t.num_rows = m;
+  t.num_cols = n + num_slack + num_artificial;
+  t.a.assign(static_cast<size_t>(t.num_rows) * t.num_cols, 0.0);
+  t.b.assign(static_cast<size_t>(m), 0.0);
+  t.basis.assign(static_cast<size_t>(m), -1);
+  t.artificial.assign(static_cast<size_t>(t.num_cols), false);
+
+  int slack_at = n;
+  int artificial_at = n + num_slack;
+  for (int r = 0; r < m; ++r) {
+    const Row& row = rows[static_cast<size_t>(r)];
+    for (int v = 0; v < n; ++v) {
+      t.At(r, v) = row.coeffs[static_cast<size_t>(v)];
+    }
+    t.b[static_cast<size_t>(r)] = row.rhs;
+    switch (row.sense) {
+      case ConstraintSense::kLessEqual:
+        t.At(r, slack_at) = 1.0;
+        t.basis[static_cast<size_t>(r)] = slack_at;
+        ++slack_at;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        t.At(r, slack_at) = -1.0;
+        ++slack_at;
+        t.At(r, artificial_at) = 1.0;
+        t.artificial[static_cast<size_t>(artificial_at)] = true;
+        t.basis[static_cast<size_t>(r)] = artificial_at;
+        ++artificial_at;
+        break;
+      case ConstraintSense::kEqual:
+        t.At(r, artificial_at) = 1.0;
+        t.artificial[static_cast<size_t>(artificial_at)] = true;
+        t.basis[static_cast<size_t>(r)] = artificial_at;
+        ++artificial_at;
+        break;
+    }
+  }
+
+  std::vector<bool> no_bar(static_cast<size_t>(t.num_cols), false);
+
+  // Phase 1: minimize the artificial sum.
+  if (num_artificial > 0) {
+    std::vector<double> phase1_cost(static_cast<size_t>(t.num_cols), 0.0);
+    for (int c = 0; c < t.num_cols; ++c) {
+      if (t.artificial[static_cast<size_t>(c)]) {
+        phase1_cost[static_cast<size_t>(c)] = 1.0;
+      }
+    }
+    LpStatus status = Iterate(&t, phase1_cost, no_bar, options_);
+    if (status == LpStatus::kIterationLimit) {
+      out.status = status;
+      return out;
+    }
+    double infeasibility = 0.0;
+    for (int r = 0; r < m; ++r) {
+      if (t.artificial[static_cast<size_t>(t.basis[static_cast<size_t>(r)])]) {
+        infeasibility += t.b[static_cast<size_t>(r)];
+      }
+    }
+    if (infeasibility > 1e-6) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    // Drive basic artificials (at value 0) out of the basis when possible.
+    for (int r = 0; r < m; ++r) {
+      int basic = t.basis[static_cast<size_t>(r)];
+      if (!t.artificial[static_cast<size_t>(basic)]) continue;
+      int replacement = -1;
+      for (int c = 0; c < n + num_slack; ++c) {
+        if (std::fabs(t.At(r, c)) > tol) {
+          replacement = c;
+          break;
+        }
+      }
+      if (replacement >= 0) {
+        t.Pivot(r, replacement);
+      }
+      // Otherwise the row is redundant; the artificial stays basic at 0,
+      // which is harmless because its column is barred in phase 2.
+    }
+  }
+
+  // Phase 2: original objective, artificial columns barred.
+  std::vector<double> phase2_cost(static_cast<size_t>(t.num_cols), 0.0);
+  for (int v = 0; v < n; ++v) {
+    phase2_cost[static_cast<size_t>(v)] = model.objective(v);
+  }
+  std::vector<bool> barred = t.artificial;
+  LpStatus status = Iterate(&t, phase2_cost, barred, options_);
+  if (status != LpStatus::kOptimal) {
+    out.status = status;
+    return out;
+  }
+
+  out.status = LpStatus::kOptimal;
+  out.values.assign(static_cast<size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    int basic = t.basis[static_cast<size_t>(r)];
+    if (basic < n) {
+      out.values[static_cast<size_t>(basic)] = t.b[static_cast<size_t>(r)];
+    }
+  }
+  out.objective = objective_constant;
+  for (int v = 0; v < n; ++v) {
+    out.values[static_cast<size_t>(v)] += shift[static_cast<size_t>(v)];
+    out.objective += model.objective(v) *
+                     (out.values[static_cast<size_t>(v)] -
+                      shift[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace solver
+}  // namespace qmqo

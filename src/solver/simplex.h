@@ -1,0 +1,49 @@
+#ifndef QMQO_SOLVER_SIMPLEX_H_
+#define QMQO_SOLVER_SIMPLEX_H_
+
+/// \file simplex.h
+/// A dense two-phase primal simplex solver.
+///
+/// Standardization: variables are shifted to lower bound 0; finite upper
+/// bounds become explicit <= rows; rows are scaled to non-negative RHS;
+/// slack variables close <= rows, surplus+artificial pairs close >= rows,
+/// artificials close = rows. Phase 1 minimizes the artificial sum (> 0 at
+/// optimum means infeasible); phase 2 minimizes the original objective with
+/// artificial columns barred. Dantzig pricing with an automatic switch to
+/// Bland's rule after a degeneracy streak guards against cycling.
+///
+/// The solver targets the moderate-sized LP relaxations produced by
+/// `linearize.h`; it trades sparse-revised sophistication for transparent,
+/// testable correctness.
+
+#include "solver/lp.h"
+
+namespace qmqo {
+namespace solver {
+
+/// Options for `SimplexSolver`.
+struct SimplexOptions {
+  int max_iterations = 200000;
+  /// Feasibility/optimality tolerance.
+  double tolerance = 1e-8;
+  /// Consecutive non-improving pivots before switching to Bland's rule.
+  int degeneracy_threshold = 64;
+};
+
+/// Two-phase primal simplex.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const SimplexOptions& options = SimplexOptions())
+      : options_(options) {}
+
+  /// Solves the LP relaxation of `model` (integrality flags ignored).
+  LpSolution Solve(const LpModel& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace solver
+}  // namespace qmqo
+
+#endif  // QMQO_SOLVER_SIMPLEX_H_

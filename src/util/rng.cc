@@ -1,0 +1,33 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace qmqo {
+
+uint64_t Rng::Scramble(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int count) {
+  if (count >= n) {
+    std::vector<int> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  // Partial Fisher-Yates over an index pool.
+  std::vector<int> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<int> picked;
+  picked.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int j = UniformInt(i, n - 1);
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+    picked.push_back(pool[static_cast<size_t>(i)]);
+  }
+  return picked;
+}
+
+}  // namespace qmqo

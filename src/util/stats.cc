@@ -1,0 +1,63 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qmqo {
+
+void SummaryStats::Add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SummaryStats::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SummaryStats::Min() const {
+  assert(!values_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double SummaryStats::Max() const {
+  assert(!values_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double SummaryStats::Mean() const {
+  assert(!values_.empty());
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double SummaryStats::Stddev() const {
+  if (values_.size() < 2) return 0.0;
+  double mean = Mean();
+  double ss = 0.0;
+  for (double v : values_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double SummaryStats::Median() const { return Percentile(0.5); }
+
+double SummaryStats::Percentile(double q) const {
+  assert(!values_.empty());
+  EnsureSorted();
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+}  // namespace qmqo

@@ -1,0 +1,55 @@
+#ifndef QMQO_UTIL_STATS_H_
+#define QMQO_UTIL_STATS_H_
+
+/// \file stats.h
+/// Summary statistics used when aggregating experiment results
+/// (e.g. the min/median/max columns of the paper's Table 1).
+
+#include <cstddef>
+#include <vector>
+
+namespace qmqo {
+
+/// Accumulates samples and reports order statistics and moments.
+///
+/// Samples are retained, so memory grows linearly with the number of calls to
+/// `Add`; experiment aggregation deals with at most tens of thousands of
+/// samples, where this is the simplest correct approach.
+class SummaryStats {
+ public:
+  SummaryStats() = default;
+
+  /// Adds one sample.
+  void Add(double x);
+
+  /// Number of samples added so far.
+  size_t count() const { return values_.size(); }
+
+  /// True when no samples have been added.
+  bool empty() const { return values_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double Stddev() const;
+  /// Median via the standard midpoint rule.
+  double Median() const;
+  /// Linear-interpolation percentile, `q` in [0,1].
+  double Percentile(double q) const;
+
+  /// All samples in insertion order.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  /// Sorts lazily before order-statistic queries.
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace qmqo
+
+#endif  // QMQO_UTIL_STATS_H_

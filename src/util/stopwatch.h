@@ -1,0 +1,44 @@
+#ifndef QMQO_UTIL_STOPWATCH_H_
+#define QMQO_UTIL_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Monotonic wall-clock timing for the experiment harness.
+
+#include <chrono>
+#include <cstdint>
+
+namespace qmqo {
+
+/// Measures elapsed wall-clock time from construction (or last Restart).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (floating point for sub-ms resolution).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qmqo
+
+#endif  // QMQO_UTIL_STOPWATCH_H_

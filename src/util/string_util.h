@@ -1,0 +1,30 @@
+#ifndef QMQO_UTIL_STRING_UTIL_H_
+#define QMQO_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers shared by serialization and reporting code.
+
+#include <string>
+#include <vector>
+
+namespace qmqo {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace qmqo
+
+#endif  // QMQO_UTIL_STRING_UTIL_H_

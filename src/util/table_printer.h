@@ -1,0 +1,38 @@
+#ifndef QMQO_UTIL_TABLE_PRINTER_H_
+#define QMQO_UTIL_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// Fixed-width text tables for benchmark output, mirroring the row/column
+/// layout of the paper's tables so results can be compared side by side.
+
+#include <string>
+#include <vector>
+
+namespace qmqo {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `header` defines the column names and the column count.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table, one row per line, columns padded to equal width.
+  std::string ToString() const;
+
+  /// Renders as a GitHub-flavored markdown table.
+  std::string ToMarkdown() const;
+
+  /// Renders as CSV (no escaping of embedded commas; cells must be simple).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qmqo
+
+#endif  // QMQO_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,357 @@
+// Tests for schedules, samplers (SA, SQA), gauge transforms, sample sets,
+// and the D-Wave device simulator.
+
+#include <gtest/gtest.h>
+
+#include "anneal/dwave_simulator.h"
+#include "anneal/gauge.h"
+#include "anneal/sample_set.h"
+#include "anneal/schedule.h"
+#include "anneal/simulated_annealer.h"
+#include "anneal/sqa.h"
+#include "qubo/brute_force.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace anneal {
+namespace {
+
+qubo::QuboProblem RandomQubo(int num_vars, double density, Rng* rng) {
+  qubo::QuboProblem problem(num_vars);
+  for (int i = 0; i < num_vars; ++i) {
+    problem.AddLinear(i, rng->UniformReal(-4.0, 4.0));
+    for (int j = i + 1; j < num_vars; ++j) {
+      if (rng->Bernoulli(density)) {
+        problem.AddQuadratic(i, j, rng->UniformReal(-4.0, 4.0));
+      }
+    }
+  }
+  return problem;
+}
+
+// --------------------------------------------------------------------
+// Schedules
+// --------------------------------------------------------------------
+
+TEST(ScheduleTest, LinearInterpolation) {
+  Schedule schedule{0.0, 10.0, ScheduleShape::kLinear};
+  EXPECT_DOUBLE_EQ(schedule.At(0, 11), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.At(5, 11), 5.0);
+  EXPECT_DOUBLE_EQ(schedule.At(10, 11), 10.0);
+}
+
+TEST(ScheduleTest, GeometricInterpolation) {
+  Schedule schedule{1.0, 100.0, ScheduleShape::kGeometric};
+  EXPECT_DOUBLE_EQ(schedule.At(0, 3), 1.0);
+  EXPECT_NEAR(schedule.At(1, 3), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(schedule.At(2, 3), 100.0);
+}
+
+TEST(ScheduleTest, SingleStepReturnsEnd) {
+  Schedule schedule{1.0, 8.0, ScheduleShape::kGeometric};
+  EXPECT_DOUBLE_EQ(schedule.At(0, 1), 8.0);
+}
+
+TEST(ScheduleTest, SuggestBetaRangeOrdering) {
+  Rng rng(1);
+  qubo::QuboProblem qubo = RandomQubo(8, 0.5, &rng);
+  qubo::IsingWithOffset ising = qubo::QuboToIsing(qubo);
+  auto [hot, cold] = SuggestBetaRange(ising.ising);
+  EXPECT_GT(hot, 0.0);
+  EXPECT_GT(cold, hot);
+}
+
+TEST(ScheduleTest, SuggestBetaRangeTrivialProblem) {
+  qubo::IsingProblem empty(4);
+  auto [hot, cold] = SuggestBetaRange(empty);
+  EXPECT_GT(hot, 0.0);
+  EXPECT_GT(cold, hot);
+}
+
+// --------------------------------------------------------------------
+// Sample sets
+// --------------------------------------------------------------------
+
+TEST(SampleSetTest, SortsByEnergyAndMergesDuplicates) {
+  SampleSet set;
+  set.Add({1, 0}, 5.0);
+  set.Add({0, 1}, -2.0);
+  set.Add({1, 0}, 5.0);
+  set.Finalize();
+  ASSERT_EQ(set.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(set.best().energy, -2.0);
+  EXPECT_EQ(set.samples()[1].num_occurrences, 2);
+  EXPECT_EQ(set.total_reads(), 3);
+}
+
+TEST(SampleSetTest, MergeCombines) {
+  SampleSet a;
+  a.Add({1}, 1.0);
+  a.Finalize();
+  SampleSet b;
+  b.Add({0}, 0.0);
+  b.Add({1}, 1.0);
+  b.Finalize();
+  a.Merge(b);
+  EXPECT_EQ(a.total_reads(), 3);
+  ASSERT_EQ(a.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(a.best().energy, 0.0);
+  EXPECT_EQ(a.samples()[1].num_occurrences, 2);
+}
+
+// --------------------------------------------------------------------
+// Gauge transforms
+// --------------------------------------------------------------------
+
+class GaugeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaugeProperty, EnergyInvariantUnderGauge) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 10);
+  qubo::QuboProblem qubo = RandomQubo(8, 0.5, &rng);
+  qubo::IsingWithOffset converted = qubo::QuboToIsing(qubo);
+  GaugeTransform gauge = GaugeTransform::Random(8, &rng);
+  qubo::IsingProblem transformed = gauge.Apply(converted.ising);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<int8_t> spins(8);
+    for (auto& s : spins) s = rng.Bernoulli(0.5) ? 1 : -1;
+    // H'(s') == H(g ⊙ s') where s = RestoreSpins(s').
+    EXPECT_NEAR(transformed.Energy(spins),
+                converted.ising.Energy(gauge.RestoreSpins(spins)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaugeProperty, ::testing::Range(0, 8));
+
+TEST(GaugeTest, IdentityGaugeIsNoOp) {
+  GaugeTransform identity(4);
+  std::vector<int8_t> spins = {1, -1, 1, -1};
+  EXPECT_EQ(identity.RestoreSpins(spins), spins);
+}
+
+TEST(GaugeTest, RestoreIsInvolution) {
+  Rng rng(3);
+  GaugeTransform gauge = GaugeTransform::Random(6, &rng);
+  std::vector<int8_t> spins = {1, 1, -1, 1, -1, -1};
+  EXPECT_EQ(gauge.RestoreSpins(gauge.RestoreSpins(spins)), spins);
+}
+
+// --------------------------------------------------------------------
+// Simulated annealing
+// --------------------------------------------------------------------
+
+class SaOptimalityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaOptimalityProperty, FindsGroundStateOfSmallProblems) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 20);
+  qubo::QuboProblem problem = RandomQubo(rng.UniformInt(4, 14), 0.5, &rng);
+  auto exact = qubo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+  SaOptions options;
+  options.num_reads = 32;
+  options.sweeps_per_read = 256;
+  options.seed = rng.Next();
+  SimulatedAnnealer annealer(options);
+  SampleSet samples = annealer.Sample(problem);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_NEAR(samples.best().energy, exact->energy, 1e-9);
+  // Reported energies must match re-evaluation.
+  for (const Sample& sample : samples.samples()) {
+    EXPECT_NEAR(problem.Energy(sample.assignment), sample.energy, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaOptimalityProperty, ::testing::Range(0, 12));
+
+TEST(SimulatedAnnealerTest, DeterministicGivenSeed) {
+  Rng rng(7);
+  qubo::QuboProblem problem = RandomQubo(10, 0.4, &rng);
+  SaOptions options;
+  options.num_reads = 8;
+  options.sweeps_per_read = 64;
+  options.seed = 99;
+  SimulatedAnnealer annealer(options);
+  SampleSet a = annealer.Sample(problem);
+  SampleSet b = annealer.Sample(problem);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].assignment, b.samples()[i].assignment);
+  }
+}
+
+TEST(SimulatedAnnealerTest, ReadCountHonored) {
+  Rng rng(8);
+  qubo::QuboProblem problem = RandomQubo(6, 0.5, &rng);
+  SaOptions options;
+  options.num_reads = 17;
+  options.sweeps_per_read = 16;
+  SimulatedAnnealer annealer(options);
+  EXPECT_EQ(annealer.Sample(problem).total_reads(), 17);
+}
+
+// --------------------------------------------------------------------
+// Simulated quantum annealing
+// --------------------------------------------------------------------
+
+class SqaOptimalityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqaOptimalityProperty, FindsGroundStateOfSmallProblems) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 30);
+  qubo::QuboProblem problem = RandomQubo(rng.UniformInt(4, 10), 0.5, &rng);
+  auto exact = qubo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+  SqaOptions options;
+  options.num_reads = 12;
+  options.num_slices = 8;
+  options.sweeps = 128;
+  options.seed = rng.Next();
+  SimulatedQuantumAnnealer annealer(options);
+  SampleSet samples = annealer.Sample(problem);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_NEAR(samples.best().energy, exact->energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqaOptimalityProperty,
+                         ::testing::Range(0, 8));
+
+TEST(SqaTest, EnergiesMatchAssignments) {
+  Rng rng(9);
+  qubo::QuboProblem problem = RandomQubo(8, 0.5, &rng);
+  SqaOptions options;
+  options.num_reads = 6;
+  options.num_slices = 6;
+  options.sweeps = 64;
+  SimulatedQuantumAnnealer annealer(options);
+  SampleSet samples = annealer.Sample(problem);
+  for (const Sample& sample : samples.samples()) {
+    EXPECT_NEAR(problem.Energy(sample.assignment), sample.energy, 1e-9);
+  }
+}
+
+// --------------------------------------------------------------------
+// D-Wave device simulator
+// --------------------------------------------------------------------
+
+TEST(DWaveSimulatorTest, ValidatesOptions) {
+  qubo::QuboProblem problem(2);
+  problem.AddLinear(0, -1.0);
+  DWaveOptions bad_reads;
+  bad_reads.num_reads = 0;
+  EXPECT_FALSE(DWaveSimulator(bad_reads).Sample(problem).ok());
+  DWaveOptions bad_gauges;
+  bad_gauges.num_gauges = 0;
+  EXPECT_FALSE(DWaveSimulator(bad_gauges).Sample(problem).ok());
+  DWaveOptions bad_range;
+  bad_range.h_range = 0.0;
+  EXPECT_FALSE(DWaveSimulator(bad_range).Sample(problem).ok());
+}
+
+TEST(DWaveSimulatorTest, TimingModelMatchesPaper) {
+  DWaveOptions options;  // defaults: 129 + 247 us, 1000 reads
+  DWaveSimulator device(options);
+  EXPECT_DOUBLE_EQ(device.DeviceTimeForReads(1), 376.0);
+  EXPECT_DOUBLE_EQ(device.DeviceTimeForReads(1000), 376000.0);
+}
+
+TEST(DWaveSimulatorTest, SamplesSmallProblemToOptimality) {
+  Rng rng(10);
+  qubo::QuboProblem problem = RandomQubo(10, 0.5, &rng);
+  auto exact = qubo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+  DWaveOptions options;
+  options.num_reads = 200;
+  options.num_gauges = 5;
+  options.sa_sweeps = 64;
+  options.control_error = 0.01;
+  DWaveSimulator device(options);
+  auto result = device.Sample(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->samples.total_reads(), 200);
+  EXPECT_NEAR(result->samples.best().energy, exact->energy, 1e-9);
+  EXPECT_DOUBLE_EQ(result->device_time_us, 200 * 376.0);
+  EXPECT_GT(result->scale_factor, 0.0);
+}
+
+TEST(DWaveSimulatorTest, EnergiesReportedOnOriginalScale) {
+  // Even with scaling and noise, reported energies must be exact w.r.t.
+  // the submitted problem.
+  Rng rng(11);
+  qubo::QuboProblem problem = RandomQubo(8, 0.6, &rng);
+  DWaveOptions options;
+  options.num_reads = 50;
+  options.control_error = 0.1;  // heavy noise
+  DWaveSimulator device(options);
+  auto result = device.Sample(problem);
+  ASSERT_TRUE(result.ok());
+  for (const Sample& sample : result->samples.samples()) {
+    EXPECT_NEAR(problem.Energy(sample.assignment), sample.energy, 1e-9);
+  }
+}
+
+TEST(DWaveSimulatorTest, RecordReadsKeepsChronologicalCount) {
+  Rng rng(12);
+  qubo::QuboProblem problem = RandomQubo(6, 0.5, &rng);
+  DWaveOptions options;
+  options.num_reads = 37;
+  options.num_gauges = 4;
+  options.record_reads = true;
+  DWaveSimulator device(options);
+  auto result = device.Sample(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->raw_reads.size(), 37u);
+}
+
+TEST(DWaveSimulatorTest, DeterministicGivenSeed) {
+  Rng rng(13);
+  qubo::QuboProblem problem = RandomQubo(8, 0.5, &rng);
+  DWaveOptions options;
+  options.num_reads = 20;
+  options.seed = 1234;
+  options.record_reads = true;
+  DWaveSimulator device(options);
+  auto a = device.Sample(problem);
+  auto b = device.Sample(problem);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->raw_reads, b->raw_reads);
+}
+
+TEST(DWaveSimulatorTest, SqaBackendWorks) {
+  Rng rng(14);
+  qubo::QuboProblem problem = RandomQubo(6, 0.6, &rng);
+  auto exact = qubo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+  DWaveOptions options;
+  options.backend = DeviceBackend::kSimulatedQuantumAnnealing;
+  options.num_reads = 20;
+  options.num_gauges = 2;
+  options.control_error = 0.0;
+  options.sqa.num_slices = 8;
+  options.sqa.sweeps = 128;
+  DWaveSimulator device(options);
+  auto result = device.Sample(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->samples.total_reads(), 20);
+  EXPECT_NEAR(result->samples.best().energy, exact->energy, 1e-9);
+}
+
+TEST(DWaveSimulatorTest, NoiseDegradesButNeverLies) {
+  // With extreme control error the device may return bad solutions, but
+  // the sample set stays sorted and self-consistent.
+  Rng rng(15);
+  qubo::QuboProblem problem = RandomQubo(8, 0.5, &rng);
+  DWaveOptions options;
+  options.num_reads = 30;
+  options.control_error = 0.5;
+  DWaveSimulator device(options);
+  auto result = device.Sample(problem);
+  ASSERT_TRUE(result.ok());
+  double previous = -1e300;
+  for (const Sample& sample : result->samples.samples()) {
+    EXPECT_GE(sample.energy, previous);
+    previous = sample.energy;
+  }
+}
+
+}  // namespace
+}  // namespace anneal
+}  // namespace qmqo

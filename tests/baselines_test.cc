@@ -1,0 +1,233 @@
+// Tests for the classical heuristics (GA, iterated hill climbing, greedy).
+
+#include <gtest/gtest.h>
+
+#include "baselines/anytime.h"
+#include "baselines/genetic.h"
+#include "baselines/greedy.h"
+#include "baselines/hill_climbing.h"
+#include "mqo/brute_force.h"
+#include "mqo/generator.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace baselines {
+namespace {
+
+mqo::MqoProblem MediumProblem(uint64_t seed) {
+  Rng rng(seed);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = 15;
+  options.min_plans = 2;
+  options.max_plans = 3;
+  options.sharing_probability = 0.2;
+  return mqo::GenerateRandomWorkload(options, &rng);
+}
+
+TEST(RandomSolutionTest, IsValid) {
+  mqo::MqoProblem problem = MediumProblem(1);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    mqo::MqoSolution solution = RandomSolution(problem, &rng);
+    EXPECT_TRUE(mqo::ValidateSolution(problem, solution).ok());
+  }
+}
+
+// --------------------------------------------------------------------
+// Genetic algorithm
+// --------------------------------------------------------------------
+
+TEST(GeneticTest, NameIncludesPopulation) {
+  GeneticOptions options;
+  options.population_size = 200;
+  EXPECT_EQ(GeneticAlgorithm(options).name(), "GA(200)");
+}
+
+TEST(GeneticTest, ReturnsValidSolution) {
+  mqo::MqoProblem problem = MediumProblem(3);
+  Rng rng(4);
+  OptimizerBudget budget;
+  budget.time_limit_ms = 50.0;
+  auto result = GeneticAlgorithm().Optimize(problem, budget, &rng, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(mqo::ValidateSolution(problem, *result).ok());
+}
+
+TEST(GeneticTest, ImprovementCallbackIsMonotone) {
+  mqo::MqoProblem problem = MediumProblem(5);
+  Rng rng(6);
+  OptimizerBudget budget;
+  budget.time_limit_ms = 100.0;
+  double last = 1e300;
+  int calls = 0;
+  auto result = GeneticAlgorithm().Optimize(
+      problem, budget, &rng,
+      [&](double, double cost, const mqo::MqoSolution& solution) {
+        ++calls;
+        EXPECT_LT(cost, last);
+        EXPECT_NEAR(mqo::EvaluateCost(problem, solution), cost, 1e-9);
+        last = cost;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(calls, 1);
+  EXPECT_NEAR(mqo::EvaluateCost(problem, *result), last, 1e-9);
+}
+
+TEST(GeneticTest, GenerationLimitRespected) {
+  mqo::MqoProblem problem = MediumProblem(7);
+  Rng rng(8);
+  OptimizerBudget budget;
+  budget.time_limit_ms = 10000.0;
+  budget.max_iterations = 3;  // generations
+  auto result = GeneticAlgorithm().Optimize(problem, budget, &rng, nullptr);
+  ASSERT_TRUE(result.ok());  // mostly checks it returns promptly
+}
+
+TEST(GeneticTest, RejectsTinyPopulation) {
+  mqo::MqoProblem problem = MediumProblem(9);
+  Rng rng(10);
+  GeneticOptions options;
+  options.population_size = 1;
+  OptimizerBudget budget;
+  EXPECT_FALSE(
+      GeneticAlgorithm(options).Optimize(problem, budget, &rng, nullptr).ok());
+}
+
+TEST(GeneticTest, SolvesTinyProblemExactly) {
+  Rng gen_rng(11);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = 4;
+  options.min_plans = 2;
+  options.max_plans = 2;
+  options.sharing_probability = 0.5;
+  mqo::MqoProblem problem = mqo::GenerateRandomWorkload(options, &gen_rng);
+  auto exact = mqo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(12);
+  OptimizerBudget budget;
+  budget.time_limit_ms = 200.0;
+  auto result = GeneticAlgorithm().Optimize(problem, budget, &rng, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(mqo::EvaluateCost(problem, *result), exact->cost, 1e-9);
+}
+
+// --------------------------------------------------------------------
+// Iterated hill climbing
+// --------------------------------------------------------------------
+
+TEST(ClimbTest, ReturnsValidSolution) {
+  mqo::MqoProblem problem = MediumProblem(13);
+  Rng rng(14);
+  OptimizerBudget budget;
+  budget.time_limit_ms = 50.0;
+  auto result =
+      IteratedHillClimbing().Optimize(problem, budget, &rng, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(mqo::ValidateSolution(problem, *result).ok());
+}
+
+TEST(ClimbTest, ResultIsLocalOptimum) {
+  mqo::MqoProblem problem = MediumProblem(15);
+  Rng rng(16);
+  OptimizerBudget budget;
+  budget.time_limit_ms = 1e9;  // no time pressure
+  budget.max_iterations = 1;   // single descent
+  auto result =
+      IteratedHillClimbing().Optimize(problem, budget, &rng, nullptr);
+  ASSERT_TRUE(result.ok());
+  // No single-query swap improves the returned solution.
+  mqo::IncrementalCostEvaluator eval(problem);
+  eval.Reset(*result);
+  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
+    for (int k = 0; k < problem.num_plans_of(q); ++k) {
+      mqo::PlanId p = problem.first_plan(q) + k;
+      EXPECT_GE(eval.SwapDelta(q, p), -1e-9);
+    }
+  }
+}
+
+TEST(ClimbTest, SolvesTinyProblemExactly) {
+  Rng gen_rng(17);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = 5;
+  options.min_plans = 2;
+  options.max_plans = 2;
+  options.sharing_probability = 0.4;
+  mqo::MqoProblem problem = mqo::GenerateRandomWorkload(options, &gen_rng);
+  auto exact = mqo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(18);
+  OptimizerBudget budget;
+  budget.time_limit_ms = 200.0;
+  auto result =
+      IteratedHillClimbing().Optimize(problem, budget, &rng, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(mqo::EvaluateCost(problem, *result), exact->cost, 1e-9);
+}
+
+// --------------------------------------------------------------------
+// Greedy
+// --------------------------------------------------------------------
+
+TEST(GreedyTest, ReturnsValidSolution) {
+  mqo::MqoProblem problem = MediumProblem(19);
+  mqo::MqoSolution solution = GreedySolver::Construct(problem);
+  EXPECT_TRUE(mqo::ValidateSolution(problem, solution).ok());
+}
+
+TEST(GreedyTest, ExploitsObviousSharing) {
+  // Query 0: expensive plan with a huge saving vs cheap loner plan.
+  mqo::MqoProblem problem;
+  problem.AddQuery({10.0, 9.0});
+  problem.AddQuery({10.0});
+  ASSERT_TRUE(problem.AddSaving(0, 2, 8.0).ok());
+  mqo::MqoSolution solution = GreedySolver::Construct(problem);
+  // Choosing plan 0 (10 - 8 = 2 marginal) beats plan 1 (9).
+  EXPECT_EQ(solution.selected(0), 0);
+  EXPECT_DOUBLE_EQ(mqo::EvaluateCost(problem, solution), 12.0);
+}
+
+TEST(GreedyTest, AnytimeWrapperReportsOnce) {
+  mqo::MqoProblem problem = MediumProblem(20);
+  Rng rng(21);
+  OptimizerBudget budget;
+  int calls = 0;
+  auto result = GreedySolver().Optimize(
+      problem, budget, &rng,
+      [&](double, double, const mqo::MqoSolution&) { ++calls; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(GreedyTest, DeterministicAcrossCalls) {
+  mqo::MqoProblem problem = MediumProblem(22);
+  mqo::MqoSolution a = GreedySolver::Construct(problem);
+  mqo::MqoSolution b = GreedySolver::Construct(problem);
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------------
+// Cross-cutting: determinism in the seed for the randomized baselines.
+// --------------------------------------------------------------------
+
+class BaselineDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineDeterminism, SameSeedSameResult) {
+  mqo::MqoProblem problem = MediumProblem(23);
+  OptimizerBudget budget;
+  budget.max_iterations = 5;
+  budget.time_limit_ms = 1e9;
+  Rng rng1(static_cast<uint64_t>(GetParam()));
+  Rng rng2(static_cast<uint64_t>(GetParam()));
+  auto a = IteratedHillClimbing().Optimize(problem, budget, &rng1, nullptr);
+  auto b = IteratedHillClimbing().Optimize(problem, budget, &rng2, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineDeterminism, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace baselines
+}  // namespace qmqo

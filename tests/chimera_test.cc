@@ -1,0 +1,202 @@
+// Tests for the Chimera topology model: addressing, coupler structure,
+// degree bounds, defects, and rendering.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chimera/render.h"
+#include "chimera/topology.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace chimera {
+namespace {
+
+TEST(ChimeraTest, SizesOfDWave2X) {
+  ChimeraGraph graph = ChimeraGraph::DWave2X();
+  EXPECT_EQ(graph.rows(), 12);
+  EXPECT_EQ(graph.cols(), 12);
+  EXPECT_EQ(graph.shore(), 4);
+  EXPECT_EQ(graph.num_cells(), 144);
+  EXPECT_EQ(graph.num_qubits(), 1152);
+  EXPECT_EQ(graph.num_working_qubits(), 1152);
+  EXPECT_EQ(graph.num_broken_qubits(), 0);
+}
+
+TEST(ChimeraTest, DefectProfileMatchesPaper) {
+  Rng rng(1);
+  ChimeraGraph graph = ChimeraGraph::DWave2XWithDefects(&rng);
+  EXPECT_EQ(graph.num_broken_qubits(), 55);
+  EXPECT_EQ(graph.num_working_qubits(), 1097);  // the paper's figure
+}
+
+TEST(ChimeraTest, IdCoordRoundTrip) {
+  ChimeraGraph graph(3, 5, 4);
+  for (QubitId q = 0; q < graph.num_qubits(); ++q) {
+    QubitCoord coord = graph.CoordOf(q);
+    EXPECT_EQ(graph.IdOf(coord), q);
+    EXPECT_GE(coord.row, 0);
+    EXPECT_LT(coord.row, 3);
+    EXPECT_GE(coord.col, 0);
+    EXPECT_LT(coord.col, 5);
+    EXPECT_TRUE(coord.side == 0 || coord.side == 1);
+    EXPECT_GE(coord.index, 0);
+    EXPECT_LT(coord.index, 4);
+  }
+}
+
+TEST(ChimeraTest, IntraCellCouplersFormBipartiteK44) {
+  ChimeraGraph graph(1, 1, 4);
+  // All left-right pairs coupled; no left-left or right-right.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_TRUE(graph.HasCoupler(graph.IdOf(0, 0, 0, i),
+                                   graph.IdOf(0, 0, 1, j)));
+    }
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_FALSE(graph.HasCoupler(graph.IdOf(0, 0, 0, i),
+                                      graph.IdOf(0, 0, 0, j)));
+        EXPECT_FALSE(graph.HasCoupler(graph.IdOf(0, 0, 1, i),
+                                      graph.IdOf(0, 0, 1, j)));
+      }
+    }
+  }
+}
+
+TEST(ChimeraTest, VerticalCouplersOnLeftShoreOnly) {
+  ChimeraGraph graph(2, 2, 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_TRUE(
+        graph.HasCoupler(graph.IdOf(0, 0, 0, k), graph.IdOf(1, 0, 0, k)));
+    EXPECT_FALSE(
+        graph.HasCoupler(graph.IdOf(0, 0, 1, k), graph.IdOf(1, 0, 1, k)));
+    // Different index never couples vertically.
+    EXPECT_FALSE(graph.HasCoupler(graph.IdOf(0, 0, 0, k),
+                                  graph.IdOf(1, 0, 0, (k + 1) % 4)));
+  }
+}
+
+TEST(ChimeraTest, HorizontalCouplersOnRightShoreOnly) {
+  ChimeraGraph graph(2, 2, 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_TRUE(
+        graph.HasCoupler(graph.IdOf(0, 0, 1, k), graph.IdOf(0, 1, 1, k)));
+    EXPECT_FALSE(
+        graph.HasCoupler(graph.IdOf(0, 0, 0, k), graph.IdOf(0, 1, 0, k)));
+  }
+}
+
+TEST(ChimeraTest, NoDiagonalOrDistantCouplers) {
+  ChimeraGraph graph(3, 3, 4);
+  EXPECT_FALSE(
+      graph.HasCoupler(graph.IdOf(0, 0, 0, 0), graph.IdOf(1, 1, 0, 0)));
+  EXPECT_FALSE(
+      graph.HasCoupler(graph.IdOf(0, 0, 0, 0), graph.IdOf(2, 0, 0, 0)));
+  EXPECT_FALSE(
+      graph.HasCoupler(graph.IdOf(0, 0, 1, 0), graph.IdOf(0, 2, 1, 0)));
+}
+
+TEST(ChimeraTest, DegreeAtMostShorePlusTwo) {
+  ChimeraGraph graph = ChimeraGraph::DWave2X();
+  int max_degree = 0;
+  for (QubitId q = 0; q < graph.num_qubits(); ++q) {
+    max_degree =
+        std::max(max_degree, static_cast<int>(graph.Neighbors(q).size()));
+  }
+  // The paper: "each qubit is hence connected to at most six other qubits".
+  EXPECT_EQ(max_degree, 6);
+}
+
+TEST(ChimeraTest, CouplerCountFormula) {
+  ChimeraGraph graph = ChimeraGraph::DWave2X();
+  // 144 cells x 16 intra + 11*12*4 vertical + 12*11*4 horizontal.
+  EXPECT_EQ(graph.num_couplers(), 144 * 16 + 11 * 12 * 4 + 12 * 11 * 4);
+  // Cross-check against the adjacency lists.
+  int half_edges = 0;
+  for (QubitId q = 0; q < graph.num_qubits(); ++q) {
+    half_edges += static_cast<int>(graph.Neighbors(q).size());
+  }
+  EXPECT_EQ(half_edges, 2 * graph.num_couplers());
+}
+
+TEST(ChimeraTest, AdjacencyIsSymmetric) {
+  ChimeraGraph graph(3, 4, 4);
+  for (QubitId q = 0; q < graph.num_qubits(); ++q) {
+    for (QubitId n : graph.Neighbors(q)) {
+      EXPECT_TRUE(graph.HasCoupler(n, q));
+    }
+  }
+}
+
+TEST(ChimeraTest, BreakAndRepairQubits) {
+  ChimeraGraph graph(2, 2, 4);
+  QubitId q = graph.IdOf(0, 1, 0, 2);
+  EXPECT_TRUE(graph.IsWorking(q));
+  graph.SetBroken(q, true);
+  EXPECT_TRUE(graph.IsBroken(q));
+  EXPECT_EQ(graph.num_broken_qubits(), 1);
+  graph.SetBroken(q, true);  // idempotent
+  EXPECT_EQ(graph.num_broken_qubits(), 1);
+  graph.SetBroken(q, false);
+  EXPECT_EQ(graph.num_broken_qubits(), 0);
+}
+
+TEST(ChimeraTest, CouplerUsableRespectsDefects) {
+  ChimeraGraph graph(1, 1, 4);
+  QubitId a = graph.IdOf(0, 0, 0, 0);
+  QubitId b = graph.IdOf(0, 0, 1, 0);
+  EXPECT_TRUE(graph.CouplerUsable(a, b));
+  graph.SetBroken(b, true);
+  EXPECT_TRUE(graph.HasCoupler(a, b));  // structure is defect-independent
+  EXPECT_FALSE(graph.CouplerUsable(a, b));
+}
+
+TEST(ChimeraTest, BreakRandomIsExactAndDistinct) {
+  Rng rng(33);
+  ChimeraGraph graph(4, 4, 4);
+  graph.BreakRandom(10, &rng);
+  EXPECT_EQ(graph.num_broken_qubits(), 10);
+  graph.BreakRandom(1000, &rng);  // clamped to remaining
+  EXPECT_EQ(graph.num_broken_qubits(), graph.num_qubits());
+}
+
+TEST(ChimeraTest, WorkingNeighborsFilterBroken) {
+  ChimeraGraph graph(1, 1, 4);
+  QubitId a = graph.IdOf(0, 0, 0, 0);
+  EXPECT_EQ(graph.WorkingNeighbors(a).size(), 4u);
+  graph.SetBroken(graph.IdOf(0, 0, 1, 3), true);
+  EXPECT_EQ(graph.WorkingNeighbors(a).size(), 3u);
+}
+
+TEST(ChimeraTest, SummaryString) {
+  Rng rng(2);
+  ChimeraGraph graph = ChimeraGraph::DWave2XWithDefects(&rng, 5);
+  EXPECT_EQ(graph.Summary(), "Chimera(12x12x4, 1152 qubits, 5 broken)");
+}
+
+TEST(RenderTest, ShowsBrokenAndLabeledQubits) {
+  ChimeraGraph graph(1, 2, 4);
+  graph.SetBroken(graph.IdOf(0, 0, 0, 0), true);
+  std::vector<int> labels(static_cast<size_t>(graph.num_qubits()), -1);
+  labels[static_cast<size_t>(graph.IdOf(0, 1, 1, 0))] = 3;
+  std::string art = Render(graph, labels);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('3'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(RenderTest, UnlabeledRenderHasOneGlyphPerQubit) {
+  ChimeraGraph graph(2, 3, 4);
+  std::string art = Render(graph);
+  int dots = 0;
+  for (char c : art) {
+    if (c == '.') ++dots;
+  }
+  EXPECT_EQ(dots, graph.num_qubits());
+}
+
+}  // namespace
+}  // namespace chimera
+}  // namespace qmqo

@@ -1,0 +1,264 @@
+// Tests for the experiment harness: trajectories, the paper workload
+// generator, ASCII plots, and experiment aggregation helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/ascii_plot.h"
+#include "harness/experiment.h"
+#include "harness/paper_workload.h"
+#include "harness/trajectory.h"
+#include "mqo/serialization.h"
+#include "mapping/logical_mapping.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace harness {
+namespace {
+
+// --------------------------------------------------------------------
+// Trajectory
+// --------------------------------------------------------------------
+
+TEST(TrajectoryTest, KeepsOnlyImprovements) {
+  Trajectory trajectory;
+  trajectory.Record(1.0, 10.0);
+  trajectory.Record(2.0, 12.0);  // worse: dropped
+  trajectory.Record(3.0, 8.0);
+  ASSERT_EQ(trajectory.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(trajectory.FinalCost(), 8.0);
+}
+
+TEST(TrajectoryTest, CostAtStaircaseSemantics) {
+  Trajectory trajectory;
+  trajectory.Record(1.0, 10.0);
+  trajectory.Record(100.0, 5.0);
+  EXPECT_TRUE(std::isinf(trajectory.CostAt(0.5)));
+  EXPECT_DOUBLE_EQ(trajectory.CostAt(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(trajectory.CostAt(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(trajectory.CostAt(100.0), 5.0);
+  EXPECT_DOUBLE_EQ(trajectory.CostAt(1e9), 5.0);
+}
+
+TEST(TrajectoryTest, TimeToReach) {
+  Trajectory trajectory;
+  trajectory.Record(1.0, 10.0);
+  trajectory.Record(100.0, 5.0);
+  EXPECT_DOUBLE_EQ(trajectory.TimeToReach(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(trajectory.TimeToReach(7.0), 100.0);
+  EXPECT_TRUE(std::isinf(trajectory.TimeToReach(4.9)));
+}
+
+TEST(TrajectoryTest, ClockJitterIsClamped) {
+  Trajectory trajectory;
+  trajectory.Record(5.0, 10.0);
+  trajectory.Record(4.0, 9.0);  // time went backwards: clamped to 5.0
+  EXPECT_DOUBLE_EQ(trajectory.points().back().time_ms, 5.0);
+}
+
+TEST(TrajectoryTest, PaperMilestones) {
+  auto milestones = Trajectory::PaperMilestonesMs();
+  ASSERT_EQ(milestones.size(), 6u);
+  EXPECT_DOUBLE_EQ(milestones.front(), 1.0);
+  EXPECT_DOUBLE_EQ(milestones.back(), 100000.0);
+}
+
+// --------------------------------------------------------------------
+// Paper workload
+// --------------------------------------------------------------------
+
+class PaperWorkloadPlans : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperWorkloadPlans, GeneratesEmbeddableInstances) {
+  int l = GetParam();
+  Rng defects(1);
+  chimera::ChimeraGraph graph(4, 4, 4);  // small chip for test speed
+  graph.BreakRandom(6, &defects);
+  PaperWorkloadOptions options;
+  options.plans_per_query = l;
+  Rng rng(static_cast<uint64_t>(l));
+  auto instance = GeneratePaperInstance(graph, options, &rng);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_GT(instance->num_queries, 0);
+  EXPECT_EQ(instance->problem.num_queries(), instance->num_queries);
+  EXPECT_EQ(instance->problem.num_plans(), instance->num_queries * l);
+  EXPECT_TRUE(instance->problem.Validate().ok());
+
+  // The pre-computed embedding must support the *mapped* problem: every
+  // E_M and E_S interaction needs a coupler.
+  auto mapping = mapping::LogicalMapping::Create(instance->problem);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_TRUE(
+      instance->embedding.VerifyForProblem(graph, mapping->qubo()).ok());
+
+  // Savings follow the paper's {1,2} x scale distribution.
+  for (const mqo::Saving& s : instance->problem.savings()) {
+    EXPECT_TRUE(s.value == options.saving_scale ||
+                s.value == 2.0 * options.saving_scale)
+        << s.value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlansPerQuery, PaperWorkloadPlans,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(PaperWorkloadTest, RespectsExplicitQueryCount) {
+  chimera::ChimeraGraph graph(4, 4, 4);
+  PaperWorkloadOptions options;
+  options.plans_per_query = 2;
+  options.num_queries = 10;
+  Rng rng(3);
+  auto instance = GeneratePaperInstance(graph, options, &rng);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->num_queries, 10);
+}
+
+TEST(PaperWorkloadTest, FailsBeyondCapacity) {
+  chimera::ChimeraGraph graph(1, 1, 4);
+  PaperWorkloadOptions options;
+  options.plans_per_query = 2;
+  options.num_queries = 100;
+  Rng rng(4);
+  EXPECT_EQ(GeneratePaperInstance(graph, options, &rng).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(PaperWorkloadTest, RejectsSinglePlanQueries) {
+  chimera::ChimeraGraph graph(2, 2, 4);
+  PaperWorkloadOptions options;
+  options.plans_per_query = 1;
+  Rng rng(5);
+  EXPECT_FALSE(GeneratePaperInstance(graph, options, &rng).ok());
+}
+
+TEST(PaperWorkloadTest, DeterministicInSeed) {
+  chimera::ChimeraGraph graph(3, 3, 4);
+  PaperWorkloadOptions options;
+  options.plans_per_query = 3;
+  Rng rng1(6);
+  Rng rng2(6);
+  auto a = GeneratePaperInstance(graph, options, &rng1);
+  auto b = GeneratePaperInstance(graph, options, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(mqo::ToText(a->problem), mqo::ToText(b->problem));
+}
+
+TEST(PaperWorkloadTest, SavingProbabilityThinsSharing) {
+  chimera::ChimeraGraph graph(4, 4, 4);
+  PaperWorkloadOptions dense;
+  dense.plans_per_query = 2;
+  PaperWorkloadOptions sparse = dense;
+  sparse.saving_probability = 0.2;
+  Rng rng1(7);
+  Rng rng2(7);
+  auto a = GeneratePaperInstance(graph, dense, &rng1);
+  auto b = GeneratePaperInstance(graph, sparse, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->problem.num_savings(), b->problem.num_savings());
+}
+
+// --------------------------------------------------------------------
+// ASCII plot
+// --------------------------------------------------------------------
+
+TEST(AsciiPlotTest, RendersSeriesAndLegend) {
+  Trajectory fast;
+  fast.Record(0.5, 100.0);
+  fast.Record(1.0, 20.0);
+  Trajectory slow;
+  slow.Record(100.0, 90.0);
+  slow.Record(10000.0, 25.0);
+  PlotOptions options;
+  options.min_time_ms = 0.1;
+  options.max_time_ms = 100000.0;
+  std::string art = RenderCostVsTime(
+      {{"QA", &fast}, {"LIN-MQO", &slow}}, options);
+  EXPECT_NE(art.find("Q=QA"), std::string::npos);
+  EXPECT_NE(art.find("M=LIN-MQO"), std::string::npos);
+  EXPECT_NE(art.find('Q'), std::string::npos);
+  EXPECT_NE(art.find("time (log)"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyTrajectoriesRenderWithoutCrashing) {
+  Trajectory empty;
+  PlotOptions options;
+  std::string art = RenderCostVsTime({{"X", &empty}}, options);
+  EXPECT_FALSE(art.empty());
+}
+
+// --------------------------------------------------------------------
+// Experiment aggregation
+// --------------------------------------------------------------------
+
+TEST(ExperimentTest, SpeedupDefinition) {
+  InstanceRun run;
+  run.qa_first_read_cost = 50.0;
+  run.qa_read_ms = 0.376;
+  AlgorithmSeries qa;
+  qa.name = "QA";
+  qa.device_time_axis = true;
+  qa.trajectory.Record(0.376, 50.0);
+  run.series.push_back(qa);
+  AlgorithmSeries classical;
+  classical.name = "LIN-MQO";
+  classical.trajectory.Record(10.0, 80.0);
+  classical.trajectory.Record(376.0, 50.0);  // matches QA at 376 ms
+  run.series.push_back(classical);
+  EXPECT_NEAR(QuantumSpeedup(run), 1000.0, 1e-6);
+}
+
+TEST(ExperimentTest, SpeedupInfiniteWhenUnmatched) {
+  InstanceRun run;
+  run.qa_first_read_cost = 10.0;
+  run.qa_read_ms = 0.376;
+  AlgorithmSeries classical;
+  classical.name = "CLIMB";
+  classical.trajectory.Record(5.0, 50.0);  // never reaches 10.0
+  run.series.push_back(classical);
+  EXPECT_TRUE(std::isinf(QuantumSpeedup(run)));
+}
+
+TEST(ExperimentTest, QubitsPerVariableAverages) {
+  ClassResult result;
+  InstanceRun a;
+  a.physical_qubits = 100;
+  a.logical_vars = 100;
+  InstanceRun b;
+  b.physical_qubits = 300;
+  b.logical_vars = 150;
+  result.instances = {a, b};
+  EXPECT_DOUBLE_EQ(QubitsPerVariable(result), 1.5);
+}
+
+TEST(ExperimentTest, EndToEndTinyClass) {
+  // A miniature version of the paper's experiment on a 3x3 chip: checks
+  // that all series are produced and QA trajectories are non-empty.
+  chimera::ChimeraGraph graph(3, 3, 4);
+  ExperimentConfig config;
+  config.workload.plans_per_query = 2;
+  config.workload.num_queries = 8;
+  config.num_instances = 2;
+  config.classical_time_limit_ms = 30.0;
+  config.ga_populations = {10};
+  config.quantum.device.num_reads = 50;
+  config.quantum.device.num_gauges = 5;
+  config.quantum.device.sa_sweeps = 16;
+  auto result = RunExperimentClass(config, graph);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->instances.size(), 2u);
+  for (const InstanceRun& run : result->instances) {
+    // QA, LIN-MQO, LIN-QUB, CLIMB, GA(10).
+    ASSERT_EQ(run.series.size(), 5u);
+    for (const AlgorithmSeries& series : run.series) {
+      EXPECT_FALSE(series.trajectory.empty()) << series.name;
+    }
+    EXPECT_GT(run.scale_base, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace qmqo

@@ -1,0 +1,235 @@
+// Tests for the logical mapping (the paper's Section 4): weight derivation,
+// the worked Example 1, Theorem 1 (QUBO optimum == MQO optimum) verified
+// exhaustively on random instances, and the inverse/repair mappings.
+
+#include <gtest/gtest.h>
+
+#include "mapping/logical_mapping.h"
+#include "mqo/brute_force.h"
+#include "mqo/generator.h"
+#include "qubo/brute_force.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace mapping {
+namespace {
+
+using mqo::MqoProblem;
+using mqo::MqoSolution;
+
+MqoProblem PaperExample() {
+  MqoProblem problem;
+  problem.AddQuery({2.0, 4.0});
+  problem.AddQuery({3.0, 1.0});
+  EXPECT_TRUE(problem.AddSaving(1, 2, 5.0).ok());
+  return problem;
+}
+
+TEST(LogicalMappingTest, WeightsFollowPaperFormulas) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  // w_L = max cost + eps = 4.25; w_M = w_L + max accumulated saving + eps.
+  EXPECT_DOUBLE_EQ(mapping->wl(), 4.25);
+  EXPECT_DOUBLE_EQ(mapping->wm(), 4.25 + 5.0 + 0.25);
+}
+
+TEST(LogicalMappingTest, EnergyTermsOfPaperExample) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  const qubo::QuboProblem& qubo = mapping->qubo();
+  EXPECT_EQ(qubo.num_vars(), 4);
+  // Linear terms: c_p - w_L.
+  EXPECT_DOUBLE_EQ(qubo.linear(0), 2.0 - mapping->wl());
+  EXPECT_DOUBLE_EQ(qubo.linear(1), 4.0 - mapping->wl());
+  // Intra-query penalties carry w_M.
+  EXPECT_DOUBLE_EQ(qubo.quadratic(0, 1), mapping->wm());
+  EXPECT_DOUBLE_EQ(qubo.quadratic(2, 3), mapping->wm());
+  // The saving appears negated.
+  EXPECT_DOUBLE_EQ(qubo.quadratic(1, 2), -5.0);
+  // No spurious couplings.
+  EXPECT_DOUBLE_EQ(qubo.quadratic(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(qubo.quadratic(0, 3), 0.0);
+}
+
+TEST(LogicalMappingTest, PaperExampleOptimum) {
+  // The paper states X = (0, 1, 1, 0) minimizes the energy formula.
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  auto ground = qubo::SolveExhaustive(mapping->qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<uint8_t> expected = {0, 1, 1, 0};
+  EXPECT_EQ(ground->assignment, expected);
+}
+
+TEST(LogicalMappingTest, ValidAssignmentEnergyEqualsCostPlusOffset) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  MqoSolution solution(2);
+  solution.Select(0, 0);
+  solution.Select(1, 3);
+  std::vector<uint8_t> x = mapping->FromMqoSolution(solution);
+  EXPECT_NEAR(mapping->qubo().Energy(x),
+              mqo::EvaluateCost(problem, solution) + mapping->constant_offset(),
+              1e-9);
+}
+
+TEST(LogicalMappingTest, RejectsNonPositiveEpsilon) {
+  MqoProblem problem = PaperExample();
+  LogicalMappingOptions options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(LogicalMapping::Create(problem, options).ok());
+}
+
+TEST(LogicalMappingTest, RejectsInvalidProblem) {
+  MqoProblem empty;
+  EXPECT_FALSE(LogicalMapping::Create(empty).ok());
+}
+
+TEST(LogicalMappingTest, IsValidAssignment) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_TRUE(mapping->IsValidAssignment({1, 0, 0, 1}));
+  EXPECT_FALSE(mapping->IsValidAssignment({1, 1, 0, 1}));  // two for query 0
+  EXPECT_FALSE(mapping->IsValidAssignment({1, 0, 0, 0}));  // none for query 1
+  EXPECT_FALSE(mapping->IsValidAssignment({1, 0, 0}));     // wrong size
+}
+
+TEST(LogicalMappingTest, ToMqoSolutionStrict) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  auto solution = mapping->ToMqoSolution({0, 1, 1, 0});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->selected(0), 1);
+  EXPECT_EQ(solution->selected(1), 2);
+  EXPECT_FALSE(mapping->ToMqoSolution({1, 1, 1, 0}).ok());
+  EXPECT_FALSE(mapping->ToMqoSolution({0, 0, 1, 0}).ok());
+}
+
+TEST(LogicalMappingTest, RepairKeepsValidAssignments) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  MqoSolution repaired = mapping->RepairedSolution({0, 1, 1, 0});
+  EXPECT_EQ(repaired.selected(0), 1);
+  EXPECT_EQ(repaired.selected(1), 2);
+}
+
+TEST(LogicalMappingTest, RepairResolvesOverfullQuery) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  // Query 0 selects both plans; plan 1 shares 5 with selected plan 2, so
+  // its marginal cost 4 - 5 = -1 beats plan 0's cost 2.
+  MqoSolution repaired = mapping->RepairedSolution({1, 1, 1, 0});
+  EXPECT_EQ(repaired.selected(0), 1);
+  EXPECT_EQ(repaired.selected(1), 2);
+  EXPECT_TRUE(mqo::ValidateSolution(problem, repaired).ok());
+}
+
+TEST(LogicalMappingTest, RepairFillsEmptyQuery) {
+  MqoProblem problem = PaperExample();
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  MqoSolution repaired = mapping->RepairedSolution({0, 0, 0, 0});
+  EXPECT_TRUE(mqo::ValidateSolution(problem, repaired).ok());
+}
+
+// --------------------------------------------------------------------
+// Theorem 1, verified exhaustively: the QUBO ground state is a valid
+// assignment whose decoded solution has minimal MQO cost, and the ground
+// energy equals that cost plus the constant offset.
+// --------------------------------------------------------------------
+
+struct TheoremCase {
+  int seed;
+  int num_queries;
+  int max_plans;
+  double sharing;
+};
+
+class TheoremOneProperty : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(TheoremOneProperty, QuboGroundStateEncodesMqoOptimum) {
+  const TheoremCase& param = GetParam();
+  Rng rng(static_cast<uint64_t>(param.seed));
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = param.num_queries;
+  options.min_plans = 1;
+  options.max_plans = param.max_plans;
+  options.sharing_probability = param.sharing;
+  // Large savings relative to costs stress Lemma 1 (multiple selections
+  // must still be suboptimal).
+  options.saving_min = 1.0;
+  options.saving_max = 60.0;
+  MqoProblem problem = mqo::GenerateRandomWorkload(options, &rng);
+
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  ASSERT_LE(mapping->qubo().num_vars(), 20);
+
+  auto ground = qubo::SolveExhaustive(mapping->qubo());
+  ASSERT_TRUE(ground.ok());
+  auto exact = mqo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+
+  // Lemmas 1 + 2: the ground state is a valid assignment.
+  EXPECT_TRUE(mapping->IsValidAssignment(ground->assignment));
+  // Theorem 1: decoded cost equals the true optimum...
+  auto decoded = mapping->ToMqoSolution(ground->assignment);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NEAR(mqo::EvaluateCost(problem, *decoded), exact->cost, 1e-9);
+  // ...and the energy is that cost shifted by the constant offset.
+  EXPECT_NEAR(ground->energy, exact->cost + mapping->constant_offset(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, TheoremOneProperty,
+    ::testing::Values(
+        TheoremCase{1, 3, 2, 0.3}, TheoremCase{2, 3, 3, 0.5},
+        TheoremCase{3, 4, 2, 0.4}, TheoremCase{4, 4, 3, 0.6},
+        TheoremCase{5, 5, 2, 0.2}, TheoremCase{6, 5, 3, 0.8},
+        TheoremCase{7, 6, 2, 0.5}, TheoremCase{8, 6, 3, 0.3},
+        TheoremCase{9, 7, 2, 0.6}, TheoremCase{10, 8, 2, 0.4},
+        TheoremCase{11, 4, 4, 0.7}, TheoremCase{12, 5, 4, 0.5},
+        TheoremCase{13, 9, 2, 0.3}, TheoremCase{14, 10, 2, 0.2},
+        TheoremCase{15, 6, 3, 1.0}, TheoremCase{16, 3, 5, 0.9}));
+
+// Lemma-level checks: perturbing the optimal valid assignment to an
+// invalid one must increase the energy.
+class LemmaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LemmaProperty, InvalidPerturbationsIncreaseEnergy) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 900);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = rng.UniformInt(2, 5);
+  options.min_plans = 2;
+  options.max_plans = 3;
+  options.sharing_probability = 0.6;
+  options.saving_max = 80.0;  // savings can dwarf costs
+  MqoProblem problem = mqo::GenerateRandomWorkload(options, &rng);
+  auto mapping = LogicalMapping::Create(problem);
+  ASSERT_TRUE(mapping.ok());
+  auto ground = qubo::SolveExhaustive(mapping->qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<uint8_t> x = ground->assignment;
+
+  // Lemma 1: additionally selecting any unselected plan raises energy.
+  // Lemma 2: dropping any selected plan raises energy.
+  for (int p = 0; p < mapping->qubo().num_vars(); ++p) {
+    std::vector<uint8_t> mutated = x;
+    mutated[static_cast<size_t>(p)] ^= 1;
+    EXPECT_GT(mapping->qubo().Energy(mutated), ground->energy - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mapping
+}  // namespace qmqo

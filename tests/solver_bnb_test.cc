@@ -1,0 +1,244 @@
+// Tests for the exact anytime branch-and-bound solvers (the LIN-MQO and
+// LIN-QUB stand-ins).
+
+#include <gtest/gtest.h>
+
+#include "mqo/brute_force.h"
+#include "mqo/generator.h"
+#include "qubo/brute_force.h"
+#include "solver/mqo_bnb.h"
+#include "solver/qubo_bnb.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace solver {
+namespace {
+
+struct BnbCase {
+  int seed;
+  int num_queries;
+  int max_plans;
+  double sharing;
+  bool decompose;
+};
+
+class MqoBnbProperty : public ::testing::TestWithParam<BnbCase> {};
+
+TEST_P(MqoBnbProperty, MatchesExhaustiveOptimum) {
+  const BnbCase& param = GetParam();
+  Rng rng(static_cast<uint64_t>(param.seed));
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = param.num_queries;
+  options.min_plans = 1;
+  options.max_plans = param.max_plans;
+  options.sharing_probability = param.sharing;
+  options.saving_max = 40.0;
+  mqo::MqoProblem problem = mqo::GenerateRandomWorkload(options, &rng);
+  auto exact = mqo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+
+  MqoBnbOptions bnb_options;
+  bnb_options.decompose_components = param.decompose;
+  MqoBranchAndBound bnb(bnb_options);
+  auto result = bnb.Solve(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_NEAR(result->cost, exact->cost, 1e-9);
+  EXPECT_TRUE(mqo::ValidateSolution(problem, result->solution).ok());
+  EXPECT_NEAR(mqo::EvaluateCost(problem, result->solution), result->cost,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, MqoBnbProperty,
+    ::testing::Values(BnbCase{1, 4, 2, 0.3, true},
+                      BnbCase{2, 5, 3, 0.5, true},
+                      BnbCase{3, 6, 2, 0.7, true},
+                      BnbCase{4, 7, 3, 0.2, true},
+                      BnbCase{5, 8, 2, 0.4, true},
+                      BnbCase{6, 8, 2, 0.4, false},
+                      BnbCase{7, 9, 2, 0.3, false},
+                      BnbCase{8, 5, 4, 0.6, true},
+                      BnbCase{9, 10, 2, 0.15, true},
+                      BnbCase{10, 6, 3, 0.9, false},
+                      BnbCase{11, 12, 2, 0.1, true},
+                      BnbCase{12, 4, 5, 0.8, true}));
+
+TEST(MqoBnbTest, CallbackReportsMonotoneImprovingFullCosts) {
+  Rng rng(77);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = 10;
+  options.min_plans = 2;
+  options.max_plans = 3;
+  options.sharing_probability = 0.3;
+  mqo::MqoProblem problem = mqo::GenerateRandomWorkload(options, &rng);
+
+  double last_cost = 1e300;
+  double last_ms = -1.0;
+  int calls = 0;
+  MqoBranchAndBound bnb;
+  auto result = bnb.Solve(
+      problem, [&](double ms, double cost, const mqo::MqoSolution& solution) {
+        ++calls;
+        EXPECT_LT(cost, last_cost);
+        EXPECT_GE(ms, last_ms);
+        // Reported cost must equal the solution's true cost.
+        EXPECT_NEAR(mqo::EvaluateCost(problem, solution), cost, 1e-9);
+        last_cost = cost;
+        last_ms = ms;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(calls, 1);
+  EXPECT_NEAR(result->cost, last_cost, 1e-9);
+}
+
+TEST(MqoBnbTest, TimeLimitReturnsValidIncumbent) {
+  Rng rng(78);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = 40;
+  options.min_plans = 2;
+  options.max_plans = 2;
+  options.sharing_probability = 0.3;
+  mqo::MqoProblem problem = mqo::GenerateRandomWorkload(options, &rng);
+  MqoBnbOptions bnb_options;
+  bnb_options.time_limit_ms = 5.0;
+  MqoBranchAndBound bnb(bnb_options);
+  auto result = bnb.Solve(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(mqo::ValidateSolution(problem, result->solution).ok());
+}
+
+TEST(MqoBnbTest, NodeLimitStopsSearch) {
+  Rng rng(79);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = 20;
+  options.min_plans = 2;
+  options.max_plans = 2;
+  options.sharing_probability = 0.5;
+  mqo::MqoProblem problem = mqo::GenerateRandomWorkload(options, &rng);
+  MqoBnbOptions bnb_options;
+  bnb_options.max_nodes = 10;
+  MqoBranchAndBound bnb(bnb_options);
+  auto result = bnb.Solve(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->proven_optimal);
+  EXPECT_TRUE(mqo::ValidateSolution(problem, result->solution).ok());
+}
+
+TEST(MqoBnbTest, DisconnectedInstancesDecompose) {
+  // Two independent 3-query chains; with decomposition the node count
+  // should be far below the product of the component search spaces.
+  Rng rng(80);
+  mqo::ChainWorkloadOptions chain;
+  chain.num_queries = 3;
+  chain.plans_per_query = 3;
+  chain.link_probability = 1.0;
+  mqo::MqoProblem a = mqo::GenerateChainWorkload(chain, &rng);
+  // Build one problem holding two disjoint copies.
+  mqo::MqoProblem combined;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (mqo::QueryId q = 0; q < a.num_queries(); ++q) {
+      std::vector<double> costs;
+      for (int k = 0; k < a.num_plans_of(q); ++k) {
+        costs.push_back(a.plan_cost(a.first_plan(q) + k));
+      }
+      combined.AddQuery(std::move(costs));
+    }
+    int offset = copy * a.num_plans();
+    for (const mqo::Saving& s : a.savings()) {
+      ASSERT_TRUE(
+          combined.AddSaving(s.plan_a + offset, s.plan_b + offset, s.value)
+              .ok());
+    }
+  }
+  auto exact = mqo::SolveExhaustive(combined);
+  ASSERT_TRUE(exact.ok());
+  MqoBranchAndBound bnb;
+  auto result = bnb.Solve(combined);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_NEAR(result->cost, exact->cost, 1e-9);
+}
+
+// --------------------------------------------------------------------
+// QUBO branch and bound
+// --------------------------------------------------------------------
+
+class QuboBnbProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuboBnbProperty, MatchesExhaustiveOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 700);
+  int n = rng.UniformInt(3, 14);
+  qubo::QuboProblem problem(n);
+  for (int i = 0; i < n; ++i) {
+    problem.AddLinear(i, rng.UniformReal(-6.0, 6.0));
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.4)) {
+        problem.AddQuadratic(i, j, rng.UniformReal(-6.0, 6.0));
+      }
+    }
+  }
+  auto exact = qubo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+  QuboBranchAndBound bnb;
+  auto result = bnb.Solve(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_NEAR(result->energy, exact->energy, 1e-9);
+  EXPECT_NEAR(problem.Energy(result->assignment), result->energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuboBnbProperty, ::testing::Range(0, 14));
+
+TEST(QuboBnbTest, RejectsEmptyProblem) {
+  qubo::QuboProblem empty(0);
+  EXPECT_FALSE(QuboBranchAndBound().Solve(empty).ok());
+}
+
+TEST(QuboBnbTest, CallbackCostsAreConsistent) {
+  Rng rng(81);
+  qubo::QuboProblem problem(10);
+  for (int i = 0; i < 10; ++i) {
+    problem.AddLinear(i, rng.UniformReal(-3.0, 3.0));
+    for (int j = i + 1; j < 10; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        problem.AddQuadratic(i, j, rng.UniformReal(-3.0, 3.0));
+      }
+    }
+  }
+  double last_energy = 1e300;
+  QuboBranchAndBound bnb;
+  auto result =
+      bnb.Solve(problem, [&](double, double energy,
+                             const std::vector<uint8_t>& assignment) {
+        EXPECT_LT(energy, last_energy);
+        EXPECT_NEAR(problem.Energy(assignment), energy, 1e-9);
+        last_energy = energy;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->energy, last_energy, 1e-9);
+}
+
+TEST(QuboBnbTest, NodeLimitKeepsIncumbent) {
+  Rng rng(82);
+  qubo::QuboProblem problem(20);
+  for (int i = 0; i < 20; ++i) {
+    problem.AddLinear(i, rng.UniformReal(-3.0, 3.0));
+    for (int j = i + 1; j < 20; ++j) {
+      if (rng.Bernoulli(0.3)) {
+        problem.AddQuadratic(i, j, rng.UniformReal(-3.0, 3.0));
+      }
+    }
+  }
+  QuboBnbOptions options;
+  options.max_nodes = 100;
+  QuboBranchAndBound bnb(options);
+  auto result = bnb.Solve(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->proven_optimal);
+  EXPECT_EQ(result->assignment.size(), 20u);
+}
+
+}  // namespace
+}  // namespace solver
+}  // namespace qmqo

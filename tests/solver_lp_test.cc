@@ -1,0 +1,304 @@
+// Tests for the LP model, simplex solver, MIP branch-and-bound, and the
+// ILP formulations (LIN-MQO / LIN-QUB).
+
+#include <gtest/gtest.h>
+
+#include "mqo/brute_force.h"
+#include "mqo/generator.h"
+#include "qubo/brute_force.h"
+#include "solver/linearize.h"
+#include "solver/lp.h"
+#include "solver/mip.h"
+#include "solver/simplex.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace solver {
+namespace {
+
+// --------------------------------------------------------------------
+// LpModel
+// --------------------------------------------------------------------
+
+TEST(LpModelTest, BuildAndValidate) {
+  LpModel model;
+  int x = model.AddVariable(0.0, 1.0, 2.0);
+  int y = model.AddVariable(0.0, kInfinity, -1.0);
+  model.AddConstraint(
+      {{{x, 1.0}, {y, 1.0}}, ConstraintSense::kLessEqual, 5.0});
+  model.MarkInteger(x);
+  EXPECT_EQ(model.num_vars(), 2);
+  EXPECT_EQ(model.num_constraints(), 1);
+  EXPECT_TRUE(model.is_integer(x));
+  EXPECT_FALSE(model.is_integer(y));
+  EXPECT_TRUE(model.Validate().ok());
+  EXPECT_EQ(model.IntegerVars(), std::vector<int>{x});
+}
+
+TEST(LpModelTest, ValidateRejectsEmptyDomainAndBadIndex) {
+  LpModel model;
+  int x = model.AddVariable(2.0, 1.0, 0.0);
+  (void)x;
+  EXPECT_FALSE(model.Validate().ok());
+  LpModel model2;
+  model2.AddVariable(0.0, 1.0, 0.0);
+  model2.AddConstraint({{{5, 1.0}}, ConstraintSense::kEqual, 1.0});
+  EXPECT_FALSE(model2.Validate().ok());
+}
+
+// --------------------------------------------------------------------
+// Simplex on textbook LPs
+// --------------------------------------------------------------------
+
+TEST(SimplexTest, SimpleMaximizationAsMinimization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig).
+  // Optimal: x = 2, y = 6, objective 36 -> minimize the negation.
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, -3.0);
+  int y = model.AddVariable(0.0, kInfinity, -5.0);
+  model.AddConstraint({{{x, 1.0}}, ConstraintSense::kLessEqual, 4.0});
+  model.AddConstraint({{{y, 2.0}}, ConstraintSense::kLessEqual, 12.0});
+  model.AddConstraint(
+      {{{x, 3.0}, {y, 2.0}}, ConstraintSense::kLessEqual, 18.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-6);
+  EXPECT_NEAR(solution.values[static_cast<size_t>(x)], 2.0, 1e-6);
+  EXPECT_NEAR(solution.values[static_cast<size_t>(y)], 6.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x - y = 1  ->  x = 2, y = 1, objective 4.
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, 1.0);
+  int y = model.AddVariable(0.0, kInfinity, 2.0);
+  model.AddConstraint({{{x, 1.0}, {y, 1.0}}, ConstraintSense::kEqual, 3.0});
+  model.AddConstraint({{{x, 1.0}, {y, -1.0}}, ConstraintSense::kEqual, 1.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 4.0, 1e-6);
+  EXPECT_NEAR(solution.values[static_cast<size_t>(x)], 2.0, 1e-6);
+  EXPECT_NEAR(solution.values[static_cast<size_t>(y)], 1.0, 1e-6);
+}
+
+TEST(SimplexTest, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  x = 4, y = 0? No:
+  // cost favors x (2 < 3), so x = 4, y = 0, objective 8.
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, 2.0);
+  int y = model.AddVariable(0.0, kInfinity, 3.0);
+  model.AddConstraint(
+      {{{x, 1.0}, {y, 1.0}}, ConstraintSense::kGreaterEqual, 4.0});
+  model.AddConstraint({{{x, 1.0}}, ConstraintSense::kGreaterEqual, 1.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 8.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  LpModel model;
+  int x = model.AddVariable(0.0, 1.0, 1.0);
+  model.AddConstraint({{{x, 1.0}}, ConstraintSense::kGreaterEqual, 2.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  EXPECT_EQ(solution.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, -1.0);  // minimize -x, x free up
+  model.AddConstraint({{{x, -1.0}}, ConstraintSense::kLessEqual, 0.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  EXPECT_EQ(solution.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, RespectsVariableUpperBounds) {
+  LpModel model;
+  int x = model.AddVariable(0.0, 2.5, -1.0);  // min -x, x <= 2.5
+  (void)x;
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -2.5, 1e-6);
+}
+
+TEST(SimplexTest, ShiftsNonZeroLowerBounds) {
+  // min x + y with x in [2, 5], y in [3, 10], x + y >= 7.
+  LpModel model;
+  int x = model.AddVariable(2.0, 5.0, 1.0);
+  int y = model.AddVariable(3.0, 10.0, 1.0);
+  model.AddConstraint(
+      {{{x, 1.0}, {y, 1.0}}, ConstraintSense::kGreaterEqual, 7.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 7.0, 1e-6);
+  EXPECT_GE(solution.values[static_cast<size_t>(x)], 2.0 - 1e-9);
+  EXPECT_GE(solution.values[static_cast<size_t>(y)], 3.0 - 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, 1.0);
+  model.AddConstraint({{{x, -1.0}}, ConstraintSense::kLessEqual, -3.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, -1.0);
+  int y = model.AddVariable(0.0, kInfinity, -1.0);
+  model.AddConstraint({{{x, 1.0}, {y, 1.0}}, ConstraintSense::kLessEqual, 1.0});
+  model.AddConstraint({{{x, 2.0}, {y, 2.0}}, ConstraintSense::kLessEqual, 2.0});
+  model.AddConstraint({{{x, 1.0}}, ConstraintSense::kLessEqual, 1.0});
+  model.AddConstraint({{{y, 1.0}}, ConstraintSense::kLessEqual, 1.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -1.0, 1e-6);
+}
+
+TEST(SimplexTest, RepeatedTermsAccumulate) {
+  // x appears twice in the row: effectively 2x <= 4.
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, -1.0);
+  model.AddConstraint(
+      {{{x, 1.0}, {x, 1.0}}, ConstraintSense::kLessEqual, 4.0});
+  LpSolution solution = SimplexSolver().Solve(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[static_cast<size_t>(x)], 2.0, 1e-6);
+}
+
+// --------------------------------------------------------------------
+// MIP branch and bound
+// --------------------------------------------------------------------
+
+TEST(MipTest, SolvesSmallKnapsack) {
+  // max 10a + 13b + 7c, weight 3a + 4b + 2c <= 6, binary.
+  // Best: a + c (17) vs b + c (20) -> b + c = 20.
+  LpModel model;
+  int a = model.AddVariable(0.0, 1.0, -10.0);
+  int b = model.AddVariable(0.0, 1.0, -13.0);
+  int c = model.AddVariable(0.0, 1.0, -7.0);
+  model.AddConstraint(
+      {{{a, 3.0}, {b, 4.0}, {c, 2.0}}, ConstraintSense::kLessEqual, 6.0});
+  model.MarkInteger(a);
+  model.MarkInteger(b);
+  model.MarkInteger(c);
+  MipResult result = MipSolver().Solve(&model);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.objective, -20.0, 1e-6);
+  EXPECT_NEAR(result.values[static_cast<size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(result.values[static_cast<size_t>(c)], 1.0, 1e-6);
+}
+
+TEST(MipTest, IntegralityForcesWorseObjective) {
+  // LP relaxation would take x = 1.5; integrality forces x <= 1.
+  LpModel model;
+  int x = model.AddVariable(0.0, kInfinity, -1.0);
+  model.AddConstraint({{{x, 2.0}}, ConstraintSense::kLessEqual, 3.0});
+  model.MarkInteger(x);
+  MipResult result = MipSolver().Solve(&model);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.objective, -1.0, 1e-6);
+}
+
+TEST(MipTest, InfeasibleIntegerProblem) {
+  // 2x = 1 has no integer solution with x binary.
+  LpModel model;
+  int x = model.AddVariable(0.0, 1.0, 1.0);
+  model.AddConstraint({{{x, 2.0}}, ConstraintSense::kEqual, 1.0});
+  model.MarkInteger(x);
+  MipResult result = MipSolver().Solve(&model);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(MipTest, RestoresModelBounds) {
+  LpModel model;
+  int x = model.AddVariable(0.0, 1.0, -1.0);
+  int y = model.AddVariable(0.0, 1.0, -1.0);
+  model.AddConstraint(
+      {{{x, 1.0}, {y, 1.0}}, ConstraintSense::kLessEqual, 1.0});
+  model.MarkInteger(x);
+  model.MarkInteger(y);
+  MipSolver().Solve(&model);
+  EXPECT_DOUBLE_EQ(model.lower(x), 0.0);
+  EXPECT_DOUBLE_EQ(model.upper(x), 1.0);
+  EXPECT_DOUBLE_EQ(model.lower(y), 0.0);
+  EXPECT_DOUBLE_EQ(model.upper(y), 1.0);
+}
+
+TEST(MipTest, IncumbentCallbackFires) {
+  LpModel model;
+  int x = model.AddVariable(0.0, 1.0, -5.0);
+  model.MarkInteger(x);
+  int callbacks = 0;
+  MipResult result = MipSolver().Solve(
+      &model, [&](double, double, const std::vector<double>&) { ++callbacks; });
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GE(callbacks, 1);
+}
+
+// --------------------------------------------------------------------
+// LIN-MQO / LIN-QUB formulations: solved with the MIP solver, they must
+// match exhaustive enumeration.
+// --------------------------------------------------------------------
+
+class MqoIlpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MqoIlpProperty, IlpOptimumEqualsExhaustiveOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 60);
+  mqo::RandomWorkloadOptions options;
+  options.num_queries = rng.UniformInt(2, 5);
+  options.min_plans = 1;
+  options.max_plans = 3;
+  options.sharing_probability = 0.5;
+  mqo::MqoProblem problem = mqo::GenerateRandomWorkload(options, &rng);
+  auto exact = mqo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+
+  MqoIlp ilp = MqoToIlp(problem);
+  MipResult result = MipSolver().Solve(&ilp.model);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.objective, exact->cost, 1e-6);
+  mqo::MqoSolution decoded = IlpValuesToSolution(problem, result.values);
+  EXPECT_TRUE(mqo::ValidateSolution(problem, decoded).ok());
+  EXPECT_NEAR(mqo::EvaluateCost(problem, decoded), exact->cost, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MqoIlpProperty, ::testing::Range(0, 8));
+
+class QuboIlpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuboIlpProperty, IlpOptimumEqualsExhaustiveOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 160);
+  int n = rng.UniformInt(2, 8);
+  qubo::QuboProblem problem(n);
+  for (int i = 0; i < n; ++i) {
+    problem.AddLinear(i, rng.UniformReal(-5.0, 5.0));
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        problem.AddQuadratic(i, j, rng.UniformReal(-5.0, 5.0));
+      }
+    }
+  }
+  auto exact = qubo::SolveExhaustive(problem);
+  ASSERT_TRUE(exact.ok());
+
+  QuboIlp ilp = QuboToIlp(problem);
+  MipResult result = MipSolver().Solve(&ilp.model);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.objective, exact->energy, 1e-6);
+  std::vector<uint8_t> assignment =
+      IlpValuesToAssignment(ilp.num_qubo_vars, result.values);
+  EXPECT_NEAR(problem.Energy(assignment), exact->energy, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuboIlpProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace solver
+}  // namespace qmqo

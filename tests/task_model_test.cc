@@ -1,0 +1,188 @@
+// Tests for the task-based MQO model and the paper's footnote-4 reduction
+// to the pairwise-savings model.
+
+#include <gtest/gtest.h>
+
+#include "mqo/brute_force.h"
+#include "mqo/task_model.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace mqo {
+namespace {
+
+/// Two queries sharing one scan task.
+TaskBasedProblem SharedScan() {
+  TaskBasedProblem tasks;
+  tasks.task_costs = {10.0, 4.0, 6.0, 3.0};
+  // Query 0: plan A = {scan0, join1}, plan B = {join2} (pre-aggregated).
+  // Query 1: plan A = {scan0, filter3}, plan B = {join2, filter3}.
+  tasks.plans_of = {
+      {{0, 1}, {2}},
+      {{0, 3}, {2, 3}},
+  };
+  return tasks;
+}
+
+TEST(TaskModelTest, ReductionShapes) {
+  auto reduction = ReduceToPairwise(SharedScan());
+  ASSERT_TRUE(reduction.ok()) << reduction.status().ToString();
+  // 2 original queries + 4 task queries.
+  EXPECT_EQ(reduction->problem.num_queries(), 6);
+  EXPECT_EQ(reduction->num_original_queries, 2);
+  // Plan costs are task-cost sums.
+  EXPECT_DOUBLE_EQ(reduction->problem.plan_cost(0), 14.0);  // {0,1}
+  EXPECT_DOUBLE_EQ(reduction->problem.plan_cost(1), 6.0);   // {2}
+  EXPECT_DOUBLE_EQ(reduction->problem.plan_cost(2), 13.0);  // {0,3}
+  // Task queries: materialize cost then skip 0.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(
+        reduction->problem.plan_cost(reduction->materialize_plan(t)),
+        SharedScan().task_costs[static_cast<size_t>(t)]);
+    EXPECT_DOUBLE_EQ(reduction->problem.plan_cost(reduction->skip_plan(t)),
+                     0.0);
+  }
+  // Savings: plan 0 shares task 0 and task 1 with their materialize plans.
+  EXPECT_DOUBLE_EQ(
+      reduction->problem.saving_between(0, reduction->materialize_plan(0)),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      reduction->problem.saving_between(0, reduction->materialize_plan(1)),
+      4.0);
+}
+
+TEST(TaskModelTest, ReductionOptimumMatchesDirectSemantics) {
+  TaskBasedProblem tasks = SharedScan();
+  auto reduction = ReduceToPairwise(tasks);
+  ASSERT_TRUE(reduction.ok());
+  auto reduced_opt = SolveExhaustive(reduction->problem);
+  ASSERT_TRUE(reduced_opt.ok());
+  // Direct enumeration over the 2 x 2 original selections.
+  double direct_best = 1e300;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      direct_best = std::min(direct_best, EvaluateTaskCost(tasks, {a, b}));
+    }
+  }
+  EXPECT_NEAR(reduced_opt->cost, direct_best, 1e-9);
+  // The decoded original selection achieves the direct optimum too.
+  std::vector<int> selection =
+      OriginalSelection(*reduction, reduced_opt->solution);
+  EXPECT_NEAR(EvaluateTaskCost(tasks, selection), direct_best, 1e-9);
+}
+
+TEST(TaskModelTest, UnusedTasksCostNothing) {
+  TaskBasedProblem tasks;
+  tasks.task_costs = {5.0, 7.0};
+  tasks.plans_of = {{{0}}};  // one query, one plan, task 1 never used
+  auto reduction = ReduceToPairwise(tasks);
+  ASSERT_TRUE(reduction.ok());
+  auto optimum = SolveExhaustive(reduction->problem);
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_NEAR(optimum->cost, 5.0, 1e-9);
+}
+
+TEST(TaskModelTest, TaskSharedByThreePlansChargedOnce) {
+  // Three queries all needing the same expensive scan: the pairwise model
+  // cannot express this directly (the paper's footnote: introduce the
+  // intermediate-result query), but the reduction charges it exactly once.
+  TaskBasedProblem tasks;
+  tasks.task_costs = {100.0, 1.0, 2.0, 3.0};
+  tasks.plans_of = {
+      {{0, 1}},
+      {{0, 2}},
+      {{0, 3}},
+  };
+  auto reduction = ReduceToPairwise(tasks);
+  ASSERT_TRUE(reduction.ok());
+  auto optimum = SolveExhaustive(reduction->problem);
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_NEAR(optimum->cost, 100.0 + 1.0 + 2.0 + 3.0, 1e-9);
+}
+
+TEST(TaskModelTest, DuplicateTaskIdsWithinPlanAreDeduplicated) {
+  TaskBasedProblem tasks;
+  tasks.task_costs = {8.0};
+  tasks.plans_of = {{{0, 0, 0}}};
+  auto reduction = ReduceToPairwise(tasks);
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_DOUBLE_EQ(reduction->problem.plan_cost(0), 8.0);
+}
+
+TEST(TaskModelTest, RejectsInvalidInput) {
+  TaskBasedProblem empty;
+  EXPECT_FALSE(ReduceToPairwise(empty).ok());
+
+  TaskBasedProblem bad_task;
+  bad_task.task_costs = {1.0};
+  bad_task.plans_of = {{{7}}};  // task id out of range
+  EXPECT_FALSE(ReduceToPairwise(bad_task).ok());
+
+  TaskBasedProblem no_plans;
+  no_plans.task_costs = {1.0};
+  no_plans.plans_of = {{}};  // a query with no plans
+  EXPECT_FALSE(ReduceToPairwise(no_plans).ok());
+
+  TaskBasedProblem negative;
+  negative.task_costs = {-1.0};
+  negative.plans_of = {{{0}}};
+  EXPECT_FALSE(ReduceToPairwise(negative).ok());
+}
+
+/// Property: on random task-based instances, the reduced pairwise optimum
+/// equals the direct union-cost optimum.
+class TaskReductionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskReductionProperty, ReductionIsExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 3000);
+  TaskBasedProblem tasks;
+  int num_tasks = rng.UniformInt(2, 6);
+  for (int t = 0; t < num_tasks; ++t) {
+    tasks.task_costs.push_back(static_cast<double>(rng.UniformInt(1, 20)));
+  }
+  int num_queries = rng.UniformInt(2, 4);
+  for (int q = 0; q < num_queries; ++q) {
+    std::vector<std::vector<int>> plans;
+    int num_plans = rng.UniformInt(1, 3);
+    for (int k = 0; k < num_plans; ++k) {
+      std::vector<int> task_set;
+      for (int t = 0; t < num_tasks; ++t) {
+        if (rng.Bernoulli(0.45)) task_set.push_back(t);
+      }
+      if (task_set.empty()) task_set.push_back(rng.UniformInt(0, num_tasks - 1));
+      plans.push_back(std::move(task_set));
+    }
+    tasks.plans_of.push_back(std::move(plans));
+  }
+
+  auto reduction = ReduceToPairwise(tasks);
+  ASSERT_TRUE(reduction.ok());
+  auto reduced_opt = SolveExhaustive(reduction->problem);
+  ASSERT_TRUE(reduced_opt.ok());
+
+  // Direct enumeration of original selections.
+  double direct_best = 1e300;
+  std::vector<int> selection(static_cast<size_t>(num_queries), 0);
+  while (true) {
+    direct_best = std::min(direct_best, EvaluateTaskCost(tasks, selection));
+    int q = 0;
+    while (q < num_queries) {
+      size_t uq = static_cast<size_t>(q);
+      if (++selection[uq] <
+          static_cast<int>(tasks.plans_of[uq].size())) {
+        break;
+      }
+      selection[uq] = 0;
+      ++q;
+    }
+    if (q == num_queries) break;
+  }
+  EXPECT_NEAR(reduced_opt->cost, direct_best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskReductionProperty,
+                         ::testing::Range(0, 14));
+
+}  // namespace
+}  // namespace mqo
+}  // namespace qmqo

@@ -1,0 +1,341 @@
+// Unit tests for src/util: Status/Result, Rng, SummaryStats, string and
+// table helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace qmqo {
+namespace {
+
+// --------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllNamedConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status FailingHelper() { return Status::Internal("inner"); }
+
+Status UsesReturnIfError() {
+  QMQO_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kInternal);
+}
+
+Result<int> ProducesValue() { return 10; }
+
+Result<int> UsesAssignOrReturn() {
+  QMQO_ASSIGN_OR_RETURN(int value, ProducesValue());
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto result = UsesAssignOrReturn();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 20);
+}
+
+// --------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRealRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal(-1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.5) ? 1 : 0;
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RngTest, GaussianMeanRoughlyCorrect) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ForkIsDecorrelatedAndDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child_a = parent1.Fork(1);
+  Rng child_b = parent2.Fork(1);
+  EXPECT_EQ(child_a.Next(), child_b.Next());
+  Rng child_c = parent1.Fork(2);
+  EXPECT_NE(child_a.Next(), child_c.Next());
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  std::vector<int> picks = rng.SampleWithoutReplacement(100, 30);
+  std::set<int> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int p : picks) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenCountExceedsN) {
+  Rng rng(37);
+  std::vector<int> picks = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(picks.size(), 5u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------------
+// SummaryStats
+// --------------------------------------------------------------------
+
+TEST(StatsTest, BasicMoments) {
+  SummaryStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_NEAR(stats.Stddev(), 1.29099, 1e-4);
+}
+
+TEST(StatsTest, MedianEvenAndOdd) {
+  SummaryStats even;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) even.Add(v);
+  EXPECT_DOUBLE_EQ(even.Median(), 2.5);
+  SummaryStats odd;
+  for (double v : {5.0, 1.0, 3.0}) odd.Add(v);
+  EXPECT_DOUBLE_EQ(odd.Median(), 3.0);
+}
+
+TEST(StatsTest, PercentileInterpolation) {
+  SummaryStats stats;
+  for (double v : {0.0, 10.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.25), 2.5);
+}
+
+TEST(StatsTest, SingleSampleStddevZero) {
+  SummaryStats stats;
+  stats.Add(7.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 7.0);
+}
+
+TEST(StatsTest, QueriesAfterInterleavedAdds) {
+  SummaryStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 3.0);
+  stats.Add(9.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 3.0);
+}
+
+// --------------------------------------------------------------------
+// String utilities
+// --------------------------------------------------------------------
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split("a,b,c", ','), parts);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  std::vector<std::string> expected = {"", "x", "", ""};
+  EXPECT_EQ(Split(",x,,", ','), expected);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \n "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("query 1 2", "query"));
+  EXPECT_FALSE(StartsWith("que", "query"));
+}
+
+// --------------------------------------------------------------------
+// TablePrinter
+// --------------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("only,,"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MarkdownShape) {
+  TablePrinter table({"h1", "h2"});
+  table.AddRow({"v1", "v2"});
+  std::string md = table.ToMarkdown();
+  EXPECT_NE(md.find("| h1 | h2 |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| v1 | v2 |"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Stopwatch
+// --------------------------------------------------------------------
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch watch;
+  int64_t first = watch.ElapsedMicros();
+  int64_t second = watch.ElapsedMicros();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(second, first);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 100.0);
+}
+
+}  // namespace
+}  // namespace qmqo
