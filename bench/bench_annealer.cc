@@ -1,94 +1,292 @@
-// Microbenchmarks for the annealing backends: sweep throughput of the
-// classical SA kernel, the SQA path-integral kernel, and a full device
-// call, on physical problems of the paper's scale (~1100 qubits for the
-// 537 x 2 class).
+// Annealing-engine benchmark: read throughput of the SA kernel, the SQA
+// path-integral kernel, and a full device call on a 2048-spin
+// Chimera-structured spin glass (16x16 cells, shore 4 — one size up from
+// the paper's 1152-qubit D-Wave 2X, exercising the same degree-6 sparsity).
+//
+// For each engine the serial path (1 thread) is compared against parallel
+// read fan-out; the benchmark *fails* (exit 1) unless the parallel sample
+// sets are bit-identical to serial. Results go to BENCH_annealer.json
+// (sweeps*spins/sec, wall time, thread count) so the perf trajectory is
+// machine-trackable across PRs.
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "anneal/dwave_simulator.h"
+#include "anneal/sample_set.h"
 #include "anneal/simulated_annealer.h"
 #include "anneal/sqa.h"
-#include "embedding/embedded_qubo.h"
-#include "harness/paper_workload.h"
-#include "mapping/logical_mapping.h"
+#include "bench_common.h"
+#include "chimera/topology.h"
+#include "qubo/ising.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace {
 
 using namespace qmqo;
 
-/// The physical QUBO of a paper-class instance.
-qubo::QuboProblem MakePhysical(int plans_per_query, int num_queries) {
-  Rng chip_rng(1);
-  chimera::ChimeraGraph graph =
-      chimera::ChimeraGraph::DWave2XWithDefects(&chip_rng);
-  harness::PaperWorkloadOptions options;
-  options.plans_per_query = plans_per_query;
-  options.num_queries = num_queries;
-  Rng rng(7);
-  auto instance = harness::GeneratePaperInstance(graph, options, &rng);
-  if (!instance.ok()) std::abort();
-  auto mapping = mapping::LogicalMapping::Create(instance->problem);
-  auto embedded = embedding::EmbeddedQubo::Create(mapping->qubo(),
-                                                  instance->embedding, graph);
-  if (!embedded.ok()) std::abort();
-  return embedded->physical();
+/// A random spin glass on the full 16x16x4 Chimera graph: couplings on
+/// every coupler, fields on every qubit.
+qubo::IsingProblem MakeChimeraGlass(Rng* rng) {
+  chimera::ChimeraGraph graph(16, 16, 4);
+  qubo::IsingProblem ising(graph.num_qubits());
+  for (chimera::QubitId q = 0; q < graph.num_qubits(); ++q) {
+    ising.AddField(q, rng->UniformReal(-1.0, 1.0));
+    for (chimera::QubitId other : graph.Neighbors(q)) {
+      if (other > q) {
+        ising.AddCoupling(q, other, rng->UniformReal(-1.0, 1.0));
+      }
+    }
+  }
+  return ising;
 }
 
-void BM_SaRead(benchmark::State& state) {
-  qubo::QuboProblem physical = MakePhysical(2, 512);
-  anneal::SaOptions options;
-  options.num_reads = 1;
-  options.sweeps_per_read = static_cast<int>(state.range(0));
-  anneal::SimulatedAnnealer annealer(options);
-  int read = 0;
-  for (auto _ : state) {
-    anneal::SaOptions per_read = options;
-    per_read.seed = static_cast<uint64_t>(++read);
-    anneal::SampleSet samples =
-        anneal::SimulatedAnnealer(per_read).Sample(physical);
-    benchmark::DoNotOptimize(samples);
+/// The seed's SA read path, replicated verbatim for comparison: pair-vector
+/// adjacency walked per neighbor access, serial reads. Same RNG stream and
+/// neighbor order as the CSR kernel, so its SampleSet must be bit-identical
+/// — only the memory layout (and therefore the throughput) differs.
+anneal::SampleSet RunLegacySa(const qubo::IsingProblem& ising,
+                              const anneal::SaOptions& options) {
+  const int n = ising.num_spins();
+  std::vector<std::vector<std::pair<qubo::VarId, double>>> adjacency(
+      static_cast<size_t>(n));
+  for (const qubo::Interaction& term : ising.couplings()) {
+    adjacency[static_cast<size_t>(term.i)].emplace_back(term.j, term.weight);
+    adjacency[static_cast<size_t>(term.j)].emplace_back(term.i, term.weight);
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0) *
-                          physical.num_vars());
-  state.SetLabel("spin-updates/s in items");
-}
-BENCHMARK(BM_SaRead)->Arg(64)->Arg(256)->Arg(1024);
+  auto [hot, cold] = anneal::SuggestBetaRange(ising);
+  anneal::Schedule beta = options.beta;
+  beta.start = hot;
+  beta.end = cold;
 
-void BM_SqaRead(benchmark::State& state) {
-  qubo::QuboProblem physical = MakePhysical(2, 128);
-  anneal::SqaOptions options;
-  options.num_reads = 1;
-  options.num_slices = static_cast<int>(state.range(0));
-  options.sweeps = 64;
-  int read = 0;
-  for (auto _ : state) {
-    anneal::SqaOptions per_read = options;
-    per_read.seed = static_cast<uint64_t>(++read);
-    anneal::SampleSet samples =
-        anneal::SimulatedQuantumAnnealer(per_read).Sample(physical);
-    benchmark::DoNotOptimize(samples);
+  Rng rng(options.seed);
+  anneal::SampleSet out;
+  std::vector<int8_t> spins(static_cast<size_t>(n));
+  std::vector<double> field(static_cast<size_t>(n));
+  for (int read = 0; read < options.num_reads; ++read) {
+    Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
+    for (auto& s : spins) {
+      s = read_rng.Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
+    }
+    for (qubo::VarId i = 0; i < n; ++i) {
+      double f = ising.field(i);
+      for (const auto& [j, w] : adjacency[static_cast<size_t>(i)]) {
+        f += w * static_cast<double>(spins[static_cast<size_t>(j)]);
+      }
+      field[static_cast<size_t>(i)] = f;
+    }
+    for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
+      double b = beta.At(sweep, options.sweeps_per_read);
+      for (qubo::VarId i = 0; i < n; ++i) {
+        double s_i = static_cast<double>(spins[static_cast<size_t>(i)]);
+        double delta = -2.0 * s_i * field[static_cast<size_t>(i)];
+        if (delta <= 0.0 ||
+            read_rng.UniformReal(0.0, 1.0) < std::exp(-b * delta)) {
+          spins[static_cast<size_t>(i)] = static_cast<int8_t>(-s_i);
+          double change = -2.0 * s_i;
+          for (const auto& [j, w] : adjacency[static_cast<size_t>(i)]) {
+            field[static_cast<size_t>(j)] += w * change;
+          }
+        }
+      }
+    }
+    out.Add(qubo::SpinsToAssignment(spins), ising.Energy(spins));
   }
-  state.SetLabel("slices=" + std::to_string(state.range(0)));
+  out.Finalize();
+  return out;
 }
-BENCHMARK(BM_SqaRead)->Arg(8)->Arg(16)->Arg(32);
 
-void BM_DeviceCall100Reads(benchmark::State& state) {
-  qubo::QuboProblem physical = MakePhysical(2, 512);
-  anneal::DWaveOptions options;
-  options.num_reads = 100;
-  options.num_gauges = 1;
-  uint64_t seed = 0;
-  for (auto _ : state) {
-    options.seed = ++seed;
-    anneal::DWaveSimulator device(options);
-    auto result = device.Sample(physical);
-    benchmark::DoNotOptimize(result);
+bool Identical(const anneal::SampleSet& a, const anneal::SampleSet& b) {
+  if (a.total_reads() != b.total_reads()) return false;
+  if (a.samples().size() != b.samples().size()) return false;
+  for (size_t i = 0; i < a.samples().size(); ++i) {
+    if (a.samples()[i].assignment != b.samples()[i].assignment) return false;
+    if (a.samples()[i].energy != b.samples()[i].energy) return false;
+    if (a.samples()[i].num_occurrences != b.samples()[i].num_occurrences) {
+      return false;
+    }
   }
-  state.SetLabel("wall time per 100-read batch; modeled device time 37.6ms");
+  return true;
 }
-BENCHMARK(BM_DeviceCall100Reads)->Unit(benchmark::kMillisecond);
+
+struct RunResult {
+  anneal::SampleSet samples;
+  double wall_ms = 0.0;
+};
+
+/// One benchmark block: runs `run(threads)` for each thread count, checks
+/// the parallel results against the 1-thread baseline, records rows.
+template <typename Runner>
+bool BenchEngine(const std::string& engine, const std::vector<int>& threads,
+                 double sweep_spins_per_run, bench::JsonArray* rows,
+                 const Runner& run, RunResult* serial_out = nullptr) {
+  bool all_identical = true;
+  RunResult serial;
+  for (int t : threads) {
+    RunResult result = run(t);
+    bool identical = true;
+    if (t == 1) {
+      serial = result;
+    } else {
+      identical = Identical(serial.samples, result.samples);
+      all_identical = all_identical && identical;
+    }
+    double throughput = sweep_spins_per_run / (result.wall_ms / 1000.0);
+    bench::JsonObject row;
+    row.Add("engine", engine)
+        .Add("threads", t)
+        .Add("wall_ms", result.wall_ms)
+        .Add("sweep_spins_per_sec", throughput)
+        .Add("best_energy", result.samples.best().energy)
+        .Add("identical_to_serial", identical);
+    rows->Add(row);
+    std::printf(
+        "%-8s threads=%2d  wall=%9.1f ms  sweeps*spins/s=%.3e  best=%.4f%s\n",
+        engine.c_str(), t, result.wall_ms, throughput,
+        result.samples.best().energy, identical ? "" : "  MISMATCH");
+  }
+  if (serial_out != nullptr) *serial_out = serial;
+  return all_identical;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const bool full = bench::FullScale();
+  Rng instance_rng(2048);
+  qubo::IsingProblem glass = MakeChimeraGlass(&instance_rng);
+  glass.Finalize();
+  const int n = glass.num_spins();
+  const int num_couplings = static_cast<int>(glass.couplings().size());
+  std::printf("instance: %d-spin Chimera(16x16x4) glass, %d couplings\n", n,
+              num_couplings);
+
+  const std::vector<int> threads = {1, 2, 4, 8};
+  bench::JsonArray rows;
+  bool all_identical = true;
+
+  // --- SA: the acceptance-criteria engine. ---
+  anneal::SaOptions sa;
+  sa.num_reads = full ? 256 : 48;
+  sa.sweeps_per_read = 256;
+  sa.seed = 7;
+  const double sa_sweep_spins =
+      static_cast<double>(sa.num_reads) * sa.sweeps_per_read * n;
+  RunResult sa_serial;
+  all_identical &= BenchEngine("sa", threads, sa_sweep_spins, &rows,
+                               [&](int t) {
+                                 anneal::SaOptions options = sa;
+                                 options.num_threads = t;
+                                 Stopwatch clock;
+                                 RunResult result;
+                                 result.samples =
+                                     anneal::SimulatedAnnealer(options)
+                                         .SampleIsing(glass);
+                                 result.wall_ms = clock.ElapsedMillis();
+                                 return result;
+                               },
+                               &sa_serial);
+
+  // --- Seed reference path: pair-vector adjacency, serial reads. Must be
+  // bit-identical to the CSR kernel; the wall-time ratio is the layout
+  // speedup this PR's acceptance criterion measures against. ---
+  double legacy_speedup = 0.0;
+  {
+    Stopwatch clock;
+    anneal::SampleSet legacy = RunLegacySa(glass, sa);
+    double wall_ms = clock.ElapsedMillis();
+    bool identical = Identical(legacy, sa_serial.samples);
+    all_identical &= identical;
+    legacy_speedup = wall_ms / sa_serial.wall_ms;
+    double throughput = sa_sweep_spins / (wall_ms / 1000.0);
+    bench::JsonObject row;
+    row.Add("engine", "sa_legacy")
+        .Add("threads", 1)
+        .Add("wall_ms", wall_ms)
+        .Add("sweep_spins_per_sec", throughput)
+        .Add("best_energy", legacy.best().energy)
+        .Add("identical_to_serial", identical);
+    rows.Add(row);
+    std::printf(
+        "%-8s threads= 1  wall=%9.1f ms  sweeps*spins/s=%.3e  best=%.4f%s\n",
+        "legacy", wall_ms, throughput, legacy.best().energy,
+        identical ? "" : "  MISMATCH");
+    std::printf("CSR serial speedup over seed pair-vector path: %.2fx\n",
+                legacy_speedup);
+  }
+
+  // --- SQA: P coupled replicas, so a "sweep" touches P * n spins. ---
+  anneal::SqaOptions sqa;
+  sqa.num_reads = full ? 16 : 4;
+  sqa.num_slices = 8;
+  sqa.sweeps = 32;
+  sqa.seed = 7;
+  const double sqa_sweep_spins = static_cast<double>(sqa.num_reads) *
+                                 sqa.sweeps * sqa.num_slices * n;
+  all_identical &= BenchEngine("sqa", threads, sqa_sweep_spins, &rows,
+                               [&](int t) {
+                                 anneal::SqaOptions options = sqa;
+                                 options.num_threads = t;
+                                 Stopwatch clock;
+                                 RunResult result;
+                                 result.samples =
+                                     anneal::SimulatedQuantumAnnealer(options)
+                                         .SampleIsing(glass);
+                                 result.wall_ms = clock.ElapsedMillis();
+                                 return result;
+                               });
+
+  // --- Full device call (gauges + control error + SA backend). ---
+  qubo::QuboWithOffset as_qubo = qubo::IsingToQubo(glass);
+  anneal::DWaveOptions device;
+  device.num_reads = full ? 200 : 50;
+  device.num_gauges = 5;
+  device.sa_sweeps = 256;
+  device.seed = 7;
+  const double device_sweep_spins =
+      static_cast<double>(device.num_reads) * device.sa_sweeps * n;
+  all_identical &= BenchEngine(
+      "device", threads, device_sweep_spins, &rows, [&](int t) {
+        anneal::DWaveOptions options = device;
+        options.num_threads = t;
+        Stopwatch clock;
+        RunResult result;
+        auto device_result =
+            anneal::DWaveSimulator(options).Sample(as_qubo.qubo);
+        if (!device_result.ok()) {
+          std::fprintf(stderr, "device call failed: %s\n",
+                       device_result.status().message().c_str());
+          std::exit(1);
+        }
+        result.samples = std::move(device_result->samples);
+        result.wall_ms = clock.ElapsedMillis();
+        return result;
+      });
+
+  bench::JsonObject root;
+  root.Add("bench", "annealer")
+      .Add("spins", n)
+      .Add("couplings", num_couplings)
+      .Add("topology", "chimera_16x16x4")
+      .Add("full_scale", full)
+      .Add("all_identical_to_serial", all_identical)
+      .Add("csr_serial_speedup_vs_legacy", legacy_speedup)
+      .AddRaw("runs", rows.Dump());
+  std::string path = bench::WriteBenchArtifact("annealer", root);
+  if (path.empty()) {
+    std::fprintf(stderr, "failed to write BENCH_annealer.json\n");
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel sample sets differ from the serial path\n");
+    return 1;
+  }
+  return 0;
+}

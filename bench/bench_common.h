@@ -9,9 +9,13 @@
 /// in minutes. Setting QMQO_BENCH_FULL=1 switches to the paper-scale
 /// setup (20 instances per class, the full milestone grid).
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "embedding/capacity.h"
 #include "harness/experiment.h"
@@ -23,6 +27,115 @@ namespace bench {
 inline bool FullScale() {
   const char* env = std::getenv("QMQO_BENCH_FULL");
   return env != nullptr && std::string(env) == "1";
+}
+
+// ----------------------------------------------------------------------
+// Machine-readable bench artifacts (BENCH_<name>.json).
+//
+// Every bench writes one flat JSON artifact so the perf trajectory of the
+// hot paths can be tracked across PRs by diffing files, no parsing of
+// human-oriented logs required. The writer is deliberately tiny: objects,
+// arrays, numbers, strings, booleans — nothing the benches don't need.
+// ----------------------------------------------------------------------
+
+/// Append-only JSON object builder (insertion order preserved).
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, double value) {
+    if (!std::isfinite(value)) return AddRaw(key, "null");  // inf/nan: not JSON
+    std::ostringstream formatted;
+    formatted.precision(12);
+    formatted << value;
+    return AddRaw(key, formatted.str());
+  }
+  JsonObject& Add(const std::string& key, int64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  JsonObject& Add(const std::string& key, bool value) {
+    return AddRaw(key, value ? "true" : "false");
+  }
+  JsonObject& Add(const std::string& key, const std::string& value) {
+    return AddRaw(key, Quote(value));
+  }
+  JsonObject& Add(const std::string& key, const char* value) {
+    return AddRaw(key, Quote(value));
+  }
+  /// Inserts an already-serialized JSON value (nested object/array).
+  JsonObject& AddRaw(const std::string& key, const std::string& json) {
+    entries_.push_back(Quote(key) + ": " + json);
+    return *this;
+  }
+
+  std::string Dump() const {
+    std::string out = "{";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += entries_[i];
+    }
+    out += "}";
+    return out;
+  }
+
+  static std::string Quote(const std::string& text) {
+    std::string out = "\"";
+    for (char c : text) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char escaped[8];
+        std::snprintf(escaped, sizeof(escaped), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += escaped;
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+/// Append-only JSON array builder.
+class JsonArray {
+ public:
+  JsonArray& Add(const JsonObject& object) {
+    entries_.push_back(object.Dump());
+    return *this;
+  }
+  std::string Dump() const {
+    std::string out = "[";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += entries_[i];
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+/// Writes `root` to BENCH_<name>.json in QMQO_BENCH_OUT_DIR (default: the
+/// working directory). Returns the path written, or "" on failure.
+inline std::string WriteBenchArtifact(const std::string& name,
+                                      const JsonObject& root) {
+  const char* dir = std::getenv("QMQO_BENCH_OUT_DIR");
+  std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "") +
+      "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << root.Dump() << "\n";
+  out.flush();  // surface buffered write errors before reporting success
+  return out ? path : "";
 }
 
 /// The paper's four experiment classes: (plans/query, queries). Query

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "anneal/gauge.h"
+#include "anneal/parallel.h"
 #include "util/stopwatch.h"
 
 namespace qmqo {
@@ -64,6 +65,7 @@ Result<DeviceResult> DWaveSimulator::Sample(
   }
   Stopwatch wall;
   qubo::IsingWithOffset converted = qubo::QuboToIsing(physical);
+  physical.Finalize();  // shared read-only across worker threads
   const double scale =
       ScaleFactor(converted.ising, options_.h_range, options_.j_range);
 
@@ -72,8 +74,6 @@ Result<DeviceResult> DWaveSimulator::Sample(
   const int reads_per_gauge =
       std::max(1, options_.num_reads / options_.num_gauges);
   int reads_left = options_.num_reads;
-  std::vector<int8_t> spins(
-      static_cast<size_t>(converted.ising.num_spins()));
 
   for (int g = 0; g < options_.num_gauges && reads_left > 0; ++g) {
     int reads = std::min(reads_per_gauge, reads_left);
@@ -94,24 +94,40 @@ Result<DeviceResult> DWaveSimulator::Sample(
       auto [hot, cold] = SuggestBetaRange(programmed);
       beta.start = hot;
       beta.end = cold;
-      for (int read = 0; read < reads; ++read) {
-        Rng read_rng = gauge_rng.Fork(static_cast<uint64_t>(read));
-        for (auto& s : spins) {
-          s = read_rng.Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
-        }
-        AnnealIsingOnce(programmed, beta, options_.sa_sweeps, &read_rng,
-                        &spins);
-        std::vector<uint8_t> assignment =
-            qubo::SpinsToAssignment(gauge.RestoreSpins(spins));
-        // True energy on the customer's problem, not the noisy one.
-        double energy = physical.Energy(assignment);
-        if (options_.record_reads) result.raw_reads.push_back(assignment);
-        result.samples.Add(std::move(assignment), energy);
+      programmed.Finalize();  // shared read-only across worker threads
+      // Per-read slots keep `raw_reads` chronological regardless of which
+      // worker executes a read.
+      std::vector<std::vector<uint8_t>> gauge_raw(
+          options_.record_reads ? static_cast<size_t>(reads) : 0);
+      SampleSet gauge_samples = RunReads(
+          reads, options_.num_threads,
+          [&, beta](int read, SampleSet* local) {
+            Rng read_rng = gauge_rng.Fork(static_cast<uint64_t>(read));
+            std::vector<int8_t> spins(
+                static_cast<size_t>(programmed.num_spins()));
+            for (auto& s : spins) {
+              s = read_rng.Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
+            }
+            AnnealIsingOnce(programmed, beta, options_.sa_sweeps, &read_rng,
+                            &spins);
+            std::vector<uint8_t> assignment =
+                qubo::SpinsToAssignment(gauge.RestoreSpins(spins));
+            // True energy on the customer's problem, not the noisy one.
+            double energy = physical.Energy(assignment);
+            if (options_.record_reads) {
+              gauge_raw[static_cast<size_t>(read)] = assignment;
+            }
+            local->Add(std::move(assignment), energy);
+          });
+      result.samples.Append(std::move(gauge_samples));
+      for (std::vector<uint8_t>& raw : gauge_raw) {
+        result.raw_reads.push_back(std::move(raw));
       }
     } else {
       SqaOptions sqa_options = options_.sqa;
       sqa_options.num_reads = reads;
       sqa_options.seed = gauge_rng.Next();
+      sqa_options.num_threads = options_.num_threads;
       SimulatedQuantumAnnealer sqa(sqa_options);
       SampleSet gauge_samples = sqa.SampleIsing(programmed);
       for (const anneal::Sample& sample : gauge_samples.samples()) {

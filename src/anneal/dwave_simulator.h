@@ -67,6 +67,11 @@ struct DWaveOptions {
   /// (needed for best-after-k-runs curves; costs memory).
   bool record_reads = false;
   uint64_t seed = 7;
+  /// Worker threads for the read loop within each programming cycle:
+  /// 1 = serial (default, keeps `wall_clock_ms` comparable across
+  /// machines), 0 = hardware concurrency. Results are bit-identical for
+  /// every thread count (see anneal/parallel.h).
+  int num_threads = 1;
 };
 
 /// Result of one device call.

@@ -1,0 +1,43 @@
+#ifndef QMQO_ANNEAL_PARALLEL_H_
+#define QMQO_ANNEAL_PARALLEL_H_
+
+/// \file parallel.h
+/// The shared parallel read engine of the annealing samplers.
+///
+/// Every sampler in this library runs `num_reads` *independent* anneals:
+/// read r forks its own RNG stream (`rng.Fork(r)`), so reads can execute in
+/// any order — and therefore on any thread — without changing a single
+/// random draw. `RunReads` fans the reads across `std::thread` workers;
+/// each worker accumulates its results into a thread-local `SampleSet`,
+/// and the locals are concatenated and finalized once at the end. Because
+/// `SampleSet::Finalize` imposes a total order (energy, then assignment)
+/// and merges duplicates, the finalized result is **bit-identical** for
+/// every thread count, including the serial path.
+///
+/// Callers must finalize shared problem structures (`IsingProblem::Finalize`
+/// / `QuboProblem::Finalize`) before entering the engine: lazy finalization
+/// under concurrent const access would be a data race.
+
+#include <functional>
+
+#include "anneal/sample_set.h"
+
+namespace qmqo {
+namespace anneal {
+
+/// Resolves a requested worker count: values >= 1 pass through, anything
+/// else (0 = "auto") becomes the hardware concurrency (at least 1).
+int ResolveNumThreads(int requested);
+
+/// Runs `run_read(read, &local)` for every read in [0, num_reads) across up
+/// to `num_threads` workers (0 = auto) and returns the finalized union of
+/// the thread-local sets. `run_read` must not touch shared mutable state;
+/// exceptions thrown by a worker are rethrown on the calling thread.
+/// `num_threads == 1` runs inline without spawning.
+SampleSet RunReads(int num_reads, int num_threads,
+                   const std::function<void(int, SampleSet*)>& run_read);
+
+}  // namespace anneal
+}  // namespace qmqo
+
+#endif  // QMQO_ANNEAL_PARALLEL_H_

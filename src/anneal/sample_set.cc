@@ -36,12 +36,76 @@ void SampleSet::Finalize() {
 }
 
 void SampleSet::Merge(const SampleSet& other) {
-  for (const Sample& sample : other.samples_) {
-    samples_.push_back(sample);
+  if (!finalized_ || !other.finalized_) {
+    Append(other);
+    Finalize();
+    return;
   }
+  // Both inputs are sorted: linear merge + coalesce instead of re-sorting.
+  auto less = [](const Sample& a, const Sample& b) {
+    if (a.energy != b.energy) return a.energy < b.energy;
+    return a.assignment < b.assignment;
+  };
+  std::vector<Sample> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  auto emit = [&merged](Sample sample) {
+    if (!merged.empty() && merged.back().assignment == sample.assignment) {
+      merged.back().num_occurrences += sample.num_occurrences;
+    } else {
+      merged.push_back(std::move(sample));
+    }
+  };
+  size_t a = 0;
+  size_t b = 0;
+  while (a < samples_.size() && b < other.samples_.size()) {
+    if (less(other.samples_[b], samples_[a])) {
+      emit(other.samples_[b++]);
+    } else {
+      emit(std::move(samples_[a++]));
+    }
+  }
+  while (a < samples_.size()) emit(std::move(samples_[a++]));
+  while (b < other.samples_.size()) emit(other.samples_[b++]);
+  samples_ = std::move(merged);
+  total_reads_ += other.total_reads_;
+}
+
+void SampleSet::Append(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
   total_reads_ += other.total_reads_;
   finalized_ = false;
-  Finalize();
+}
+
+void SampleSet::Append(SampleSet&& other) {
+  samples_.insert(samples_.end(),
+                  std::make_move_iterator(other.samples_.begin()),
+                  std::make_move_iterator(other.samples_.end()));
+  total_reads_ += other.total_reads_;
+  finalized_ = false;
+  other.samples_.clear();
+  other.total_reads_ = 0;
+}
+
+void SampleSet::AddEnergyOffset(double offset) {
+  for (Sample& sample : samples_) {
+    sample.energy += offset;
+  }
+  if (!finalized_) return;
+  // A uniform shift preserves the energy order, but rounding can collapse
+  // two distinct adjacent energies into a tie, where the (energy,
+  // assignment) invariant that Merge's linear fast path relies on may no
+  // longer hold. Detect and re-finalize in that (rare) case.
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    const Sample& a = samples_[i - 1];
+    const Sample& b = samples_[i];
+    if (a.energy > b.energy ||
+        (a.energy == b.energy && a.assignment > b.assignment)) {
+      finalized_ = false;
+      Finalize();
+      return;
+    }
+  }
 }
 
 }  // namespace anneal

@@ -41,8 +41,22 @@ class SampleSet {
   /// Total number of reads recorded (sum of occurrence counts).
   int total_reads() const { return total_reads_; }
 
-  /// Merges another sample set into this one (re-finalizes).
+  /// Merges another sample set into this one. When both sets are already
+  /// finalized this is a linear two-way merge (no re-sort); the result is
+  /// finalized either way.
   void Merge(const SampleSet& other);
+
+  /// Appends another set's samples without sorting or deduplicating.
+  /// Cheaper than `Merge` when accumulating many partial sets (e.g. the
+  /// per-thread sets of the parallel read engine): append them all, then
+  /// `Finalize` once. The rvalue overload moves the assignment vectors
+  /// instead of copying them.
+  void Append(const SampleSet& other);
+  void Append(SampleSet&& other);
+
+  /// Shifts every sample's energy by `offset` in place (sample order is
+  /// unaffected). Used to re-express Ising energies on the QUBO scale.
+  void AddEnergyOffset(double offset);
 
  private:
   std::vector<Sample> samples_;

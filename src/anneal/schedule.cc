@@ -29,11 +29,12 @@ std::pair<double, double> SuggestBetaRange(const qubo::IsingProblem& ising) {
   // spin can experience.
   double max_field = 0.0;
   double min_field = std::numeric_limits<double>::infinity();
+  const qubo::CsrGraph& csr = ising.csr();
   for (qubo::VarId i = 0; i < ising.num_spins(); ++i) {
     double field = std::fabs(ising.field(i));
-    for (const auto& [j, w] : ising.neighbors(i)) {
-      (void)j;
-      field += std::fabs(w);
+    for (int32_t e = csr.row_offsets[static_cast<size_t>(i)];
+         e < csr.row_offsets[static_cast<size_t>(i) + 1]; ++e) {
+      field += std::fabs(csr.weights[static_cast<size_t>(e)]);
     }
     if (field > 0.0) {
       max_field = std::max(max_field, field);

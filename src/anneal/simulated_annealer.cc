@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "anneal/parallel.h"
+
 namespace qmqo {
 namespace anneal {
 namespace {
@@ -29,28 +31,35 @@ void AnnealIsingOnce(const qubo::IsingProblem& ising, const Schedule& beta,
                      int sweeps, Rng* rng, std::vector<int8_t>* spins) {
   const int n = ising.num_spins();
   assert(static_cast<int>(spins->size()) == n);
+  const qubo::CsrGraph& csr = ising.csr();
+  const int32_t* offsets = csr.row_offsets.data();
+  const qubo::VarId* ids = csr.neighbor_ids.data();
+  const double* weights = csr.weights.data();
+  const double* h = ising.fields().data();
+  int8_t* s = spins->data();
+
   // Local fields: field[i] = h_i + sum_j J_ij s_j; flipping spin i changes
   // the energy by -2 s_i field[i] ... note the sign convention below.
   std::vector<double> field(static_cast<size_t>(n));
   for (qubo::VarId i = 0; i < n; ++i) {
-    double f = ising.field(i);
-    for (const auto& [j, w] : ising.neighbors(i)) {
-      f += w * static_cast<double>((*spins)[static_cast<size_t>(j)]);
+    double f = h[i];
+    for (int32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+      f += weights[e] * static_cast<double>(s[ids[e]]);
     }
     field[static_cast<size_t>(i)] = f;
   }
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     double b = beta.At(sweep, sweeps);
     for (qubo::VarId i = 0; i < n; ++i) {
-      double s_i = static_cast<double>((*spins)[static_cast<size_t>(i)]);
+      double s_i = static_cast<double>(s[i]);
       // field[i] has no self term, so the flip delta is exact.
       double delta = -2.0 * s_i * field[static_cast<size_t>(i)];
       if (delta <= 0.0 ||
           rng->UniformReal(0.0, 1.0) < std::exp(-b * delta)) {
-        (*spins)[static_cast<size_t>(i)] = static_cast<int8_t>(-s_i);
+        s[i] = static_cast<int8_t>(-s_i);
         double change = -2.0 * s_i;
-        for (const auto& [j, w] : ising.neighbors(i)) {
-          field[static_cast<size_t>(j)] += w * change;
+        for (int32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+          field[static_cast<size_t>(ids[e])] += weights[e] * change;
         }
       }
     }
@@ -59,30 +68,27 @@ void AnnealIsingOnce(const qubo::IsingProblem& ising, const Schedule& beta,
 
 SampleSet SimulatedAnnealer::SampleIsing(const qubo::IsingProblem& ising) const {
   Schedule beta = ResolveBeta(ising, options_.beta);
+  ising.Finalize();  // shared across worker threads
   Rng rng(options_.seed);
-  SampleSet out;
-  std::vector<int8_t> spins(static_cast<size_t>(ising.num_spins()));
-  for (int read = 0; read < options_.num_reads; ++read) {
-    Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
-    RandomSpins(&read_rng, &spins);
-    AnnealIsingOnce(ising, beta, options_.sweeps_per_read, &read_rng, &spins);
-    out.Add(qubo::SpinsToAssignment(spins), ising.Energy(spins));
-  }
-  out.Finalize();
-  return out;
+  const size_t n = static_cast<size_t>(ising.num_spins());
+  return RunReads(
+      options_.num_reads, options_.num_threads,
+      [&, beta](int read, SampleSet* local) {
+        Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
+        std::vector<int8_t> spins(n);
+        RandomSpins(&read_rng, &spins);
+        AnnealIsingOnce(ising, beta, options_.sweeps_per_read, &read_rng,
+                        &spins);
+        local->Add(qubo::SpinsToAssignment(spins), ising.Energy(spins));
+      });
 }
 
 SampleSet SimulatedAnnealer::Sample(const qubo::QuboProblem& problem) const {
   qubo::IsingWithOffset converted = qubo::QuboToIsing(problem);
-  SampleSet ising_samples = SampleIsing(converted.ising);
-  // Re-express energies on the QUBO scale.
-  SampleSet out;
-  for (const anneal::Sample& sample : ising_samples.samples()) {
-    for (int k = 0; k < sample.num_occurrences; ++k) {
-      out.Add(sample.assignment, sample.energy + converted.offset);
-    }
-  }
-  out.Finalize();
+  SampleSet out = SampleIsing(converted.ising);
+  // Re-express energies on the QUBO scale (a uniform in-place shift; the
+  // energy order and occurrence counts are unchanged).
+  out.AddEnergyOffset(converted.offset);
   return out;
 }
 

@@ -31,6 +31,11 @@ struct SaOptions {
   /// `SuggestBetaRange` heuristic per problem.
   Schedule beta{0.0, 0.0, ScheduleShape::kGeometric};
   uint64_t seed = 1;
+  /// Worker threads for the read loop: 1 = serial (default, keeps
+  /// wall-clock measurements comparable across machines), 0 = hardware
+  /// concurrency. Results are bit-identical for every thread count (see
+  /// anneal/parallel.h).
+  int num_threads = 1;
 };
 
 /// Metropolis simulated annealing sampler.

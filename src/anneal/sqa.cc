@@ -4,19 +4,98 @@
 #include <cmath>
 #include <limits>
 
+#include "anneal/parallel.h"
+
 namespace qmqo {
 namespace anneal {
 namespace {
 
-/// Energy delta on the problem Hamiltonian for flipping spin i of slice k.
-double ProblemDelta(const qubo::IsingProblem& ising,
-                    const std::vector<int8_t>& slice, qubo::VarId i) {
-  double field = ising.field(i);
-  for (const auto& [j, w] : ising.neighbors(i)) {
-    field += w * static_cast<double>(slice[static_cast<size_t>(j)]);
+/// Per-read state of the path-integral simulation: P replicas of the spin
+/// vector plus, for each replica, the cached local problem fields
+///   field[k][i] = h_i + sum_j J_ij s_{k,j},
+/// maintained incrementally on every accepted flip (mirroring the SA
+/// kernel) so a Metropolis move costs O(1) to evaluate and O(degree) only
+/// when accepted — instead of O(degree) recomputation per *proposal*.
+class SqaState {
+ public:
+  SqaState(const qubo::IsingProblem& ising, int num_slices, Rng* rng)
+      : ising_(ising),
+        n_(ising.num_spins()),
+        p_(num_slices),
+        spins_(static_cast<size_t>(num_slices) * static_cast<size_t>(n_)),
+        fields_(spins_.size()) {
+    for (auto& s : spins_) {
+      s = rng->Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
+    }
+    const qubo::CsrGraph& csr = ising_.csr();
+    const double* h = ising_.fields().data();
+    for (int k = 0; k < p_; ++k) {
+      const int8_t* slice = slice_spins(k);
+      double* field = slice_fields(k);
+      for (qubo::VarId i = 0; i < n_; ++i) {
+        double f = h[i];
+        for (int32_t e = csr.row_offsets[static_cast<size_t>(i)];
+             e < csr.row_offsets[static_cast<size_t>(i) + 1]; ++e) {
+          f += csr.weights[static_cast<size_t>(e)] *
+               static_cast<double>(slice[csr.neighbor_ids[static_cast<size_t>(e)]]);
+        }
+        field[i] = f;
+      }
+    }
   }
-  return -2.0 * static_cast<double>(slice[static_cast<size_t>(i)]) * field;
-}
+
+  int8_t* slice_spins(int k) {
+    return spins_.data() + static_cast<size_t>(k) * static_cast<size_t>(n_);
+  }
+  const int8_t* slice_spins(int k) const {
+    return spins_.data() + static_cast<size_t>(k) * static_cast<size_t>(n_);
+  }
+  double* slice_fields(int k) {
+    return fields_.data() + static_cast<size_t>(k) * static_cast<size_t>(n_);
+  }
+
+  /// Problem-energy delta for flipping spin i of slice k; O(1).
+  double ProblemDelta(int k, qubo::VarId i) const {
+    return -2.0 *
+           static_cast<double>(
+               spins_[static_cast<size_t>(k) * static_cast<size_t>(n_) +
+                      static_cast<size_t>(i)]) *
+           fields_[static_cast<size_t>(k) * static_cast<size_t>(n_) +
+                   static_cast<size_t>(i)];
+  }
+
+  /// Flips spin i of slice k and updates the slice's cached fields.
+  void Flip(int k, qubo::VarId i) {
+    int8_t* slice = slice_spins(k);
+    double* field = slice_fields(k);
+    const qubo::CsrGraph& csr = ising_.csr();
+    double change = -2.0 * static_cast<double>(slice[i]);
+    slice[i] = static_cast<int8_t>(-slice[i]);
+    for (int32_t e = csr.row_offsets[static_cast<size_t>(i)];
+         e < csr.row_offsets[static_cast<size_t>(i) + 1]; ++e) {
+      field[csr.neighbor_ids[static_cast<size_t>(e)]] +=
+          csr.weights[static_cast<size_t>(e)] * change;
+    }
+  }
+
+  /// Exact energy of slice k (recomputed from scratch; used for read-out
+  /// only, so cached-field drift never reaches reported energies).
+  double SliceEnergy(int k) const {
+    std::vector<int8_t> slice(slice_spins(k), slice_spins(k) + n_);
+    return ising_.Energy(slice);
+  }
+
+  std::vector<int8_t> SliceCopy(int k) const {
+    return std::vector<int8_t>(slice_spins(k), slice_spins(k) + n_);
+  }
+
+ private:
+  const qubo::IsingProblem& ising_;
+  int n_;
+  int p_;
+  std::vector<int8_t> spins_;
+  std::vector<double> fields_;
+};
 
 }  // namespace
 
@@ -26,92 +105,79 @@ SampleSet SimulatedQuantumAnnealer::SampleIsing(
   const int p = options_.num_slices;
   assert(p >= 2);
   const double beta_slice = options_.beta / static_cast<double>(p);
+  ising.Finalize();  // shared across worker threads
   Rng rng(options_.seed);
-  SampleSet out;
 
-  for (int read = 0; read < options_.num_reads; ++read) {
-    Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
-    // slices[k][i]: spin i of replica k.
-    std::vector<std::vector<int8_t>> slices(
-        static_cast<size_t>(p), std::vector<int8_t>(static_cast<size_t>(n)));
-    for (auto& slice : slices) {
-      for (auto& s : slice) {
-        s = read_rng.Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
-      }
-    }
+  return RunReads(
+      options_.num_reads, options_.num_threads,
+      [&](int read, SampleSet* local) {
+        Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
+        SqaState state(ising, p, &read_rng);
 
-    for (int step = 0; step < options_.sweeps; ++step) {
-      double gamma = options_.gamma.At(step, options_.sweeps);
-      gamma = std::max(gamma, 1e-9);
-      // Inter-slice ferromagnetic coupling; positive, diverging as
-      // gamma -> 0. The energy term is −j_perp * s_{k,i} * s_{k+1,i}.
-      double j_perp =
-          -0.5 / beta_slice * std::log(std::tanh(beta_slice * gamma));
+        for (int step = 0; step < options_.sweeps; ++step) {
+          double gamma = options_.gamma.At(step, options_.sweeps);
+          gamma = std::max(gamma, 1e-9);
+          // Inter-slice ferromagnetic coupling; positive, diverging as
+          // gamma -> 0. The energy term is −j_perp * s_{k,i} * s_{k+1,i}.
+          double j_perp =
+              -0.5 / beta_slice * std::log(std::tanh(beta_slice * gamma));
 
-      // Single-site Metropolis moves, slice by slice.
-      for (int k = 0; k < p; ++k) {
-        auto& slice = slices[static_cast<size_t>(k)];
-        const auto& prev = slices[static_cast<size_t>((k + p - 1) % p)];
-        const auto& next = slices[static_cast<size_t>((k + 1) % p)];
-        for (qubo::VarId i = 0; i < n; ++i) {
-          double delta = ProblemDelta(ising, slice, i);
-          // Kinetic part: flipping s_{k,i} changes
-          // −j_perp*s_{k,i}(s_{k-1,i}+s_{k+1,i}) by:
-          double s_i = static_cast<double>(slice[static_cast<size_t>(i)]);
-          double neighbors_sum =
-              static_cast<double>(prev[static_cast<size_t>(i)]) +
-              static_cast<double>(next[static_cast<size_t>(i)]);
-          double kinetic = 2.0 * j_perp * s_i * neighbors_sum;
-          double total = delta + kinetic;
-          if (total <= 0.0 || read_rng.UniformReal(0.0, 1.0) <
-                                  std::exp(-beta_slice * total)) {
-            slice[static_cast<size_t>(i)] =
-                static_cast<int8_t>(-slice[static_cast<size_t>(i)]);
-          }
-        }
-      }
-      // Global moves: flip spin i in all slices (kinetic term invariant).
-      for (qubo::VarId i = 0; i < n; ++i) {
-        double delta = 0.0;
-        for (int k = 0; k < p; ++k) {
-          delta += ProblemDelta(ising, slices[static_cast<size_t>(k)], i);
-        }
-        if (delta <= 0.0 || read_rng.UniformReal(0.0, 1.0) <
-                                std::exp(-beta_slice * delta)) {
+          // Single-site Metropolis moves, slice by slice.
           for (int k = 0; k < p; ++k) {
-            auto& s = slices[static_cast<size_t>(k)][static_cast<size_t>(i)];
-            s = static_cast<int8_t>(-s);
+            const int8_t* slice = state.slice_spins(k);
+            const int8_t* prev = state.slice_spins((k + p - 1) % p);
+            const int8_t* next = state.slice_spins((k + 1) % p);
+            for (qubo::VarId i = 0; i < n; ++i) {
+              double delta = state.ProblemDelta(k, i);
+              // Kinetic part: flipping s_{k,i} changes
+              // −j_perp*s_{k,i}(s_{k-1,i}+s_{k+1,i}) by:
+              double s_i = static_cast<double>(slice[i]);
+              double neighbors_sum = static_cast<double>(prev[i]) +
+                                     static_cast<double>(next[i]);
+              double kinetic = 2.0 * j_perp * s_i * neighbors_sum;
+              double total = delta + kinetic;
+              if (total <= 0.0 || read_rng.UniformReal(0.0, 1.0) <
+                                      std::exp(-beta_slice * total)) {
+                state.Flip(k, i);
+              }
+            }
+          }
+          // Global moves: flip spin i in all slices (kinetic term
+          // invariant). Each slice's delta only involves that slice's own
+          // fields, so summing the cached deltas is exact.
+          for (qubo::VarId i = 0; i < n; ++i) {
+            double delta = 0.0;
+            for (int k = 0; k < p; ++k) {
+              delta += state.ProblemDelta(k, i);
+            }
+            if (delta <= 0.0 || read_rng.UniformReal(0.0, 1.0) <
+                                    std::exp(-beta_slice * delta)) {
+              for (int k = 0; k < p; ++k) {
+                state.Flip(k, i);
+              }
+            }
           }
         }
-      }
-    }
 
-    // Read out the best slice.
-    double best_energy = std::numeric_limits<double>::infinity();
-    const std::vector<int8_t>* best_slice = nullptr;
-    for (const auto& slice : slices) {
-      double energy = ising.Energy(slice);
-      if (energy < best_energy) {
-        best_energy = energy;
-        best_slice = &slice;
-      }
-    }
-    out.Add(qubo::SpinsToAssignment(*best_slice), best_energy);
-  }
-  out.Finalize();
-  return out;
+        // Read out the best slice (energies recomputed exactly).
+        double best_energy = std::numeric_limits<double>::infinity();
+        int best_slice = 0;
+        for (int k = 0; k < p; ++k) {
+          double energy = state.SliceEnergy(k);
+          if (energy < best_energy) {
+            best_energy = energy;
+            best_slice = k;
+          }
+        }
+        local->Add(qubo::SpinsToAssignment(state.SliceCopy(best_slice)),
+                   best_energy);
+      });
 }
 
 SampleSet SimulatedQuantumAnnealer::Sample(const qubo::QuboProblem& problem) const {
   qubo::IsingWithOffset converted = qubo::QuboToIsing(problem);
-  SampleSet ising_samples = SampleIsing(converted.ising);
-  SampleSet out;
-  for (const anneal::Sample& sample : ising_samples.samples()) {
-    for (int k = 0; k < sample.num_occurrences; ++k) {
-      out.Add(sample.assignment, sample.energy + converted.offset);
-    }
-  }
-  out.Finalize();
+  SampleSet out = SampleIsing(converted.ising);
+  out.AddEnergyOffset(converted.offset);
   return out;
 }
 

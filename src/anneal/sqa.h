@@ -42,6 +42,11 @@ struct SqaOptions {
   /// Transverse-field ramp (linear, as on the hardware).
   Schedule gamma{3.0, 0.01, ScheduleShape::kLinear};
   uint64_t seed = 1;
+  /// Worker threads for the read loop: 1 = serial (default, keeps
+  /// wall-clock measurements comparable across machines), 0 = hardware
+  /// concurrency. Results are bit-identical for every thread count (see
+  /// anneal/parallel.h).
+  int num_threads = 1;
 };
 
 /// Path-integral Monte Carlo sampler.

@@ -12,14 +12,6 @@ namespace {
 
 using Genome = std::vector<int>;  // per query: plan offset within the query
 
-double GenomeCost(const mqo::MqoProblem& problem, const Genome& genome) {
-  mqo::MqoSolution solution(problem.num_queries());
-  for (mqo::QueryId q = 0; q < problem.num_queries(); ++q) {
-    solution.Select(q, problem.first_plan(q) + genome[static_cast<size_t>(q)]);
-  }
-  return mqo::EvaluateCost(problem, solution);
-}
-
 mqo::MqoSolution GenomeToSolution(const mqo::MqoProblem& problem,
                                   const Genome& genome) {
   mqo::MqoSolution solution(problem.num_queries());
@@ -28,6 +20,40 @@ mqo::MqoSolution GenomeToSolution(const mqo::MqoProblem& problem,
   }
   return solution;
 }
+
+/// Evaluates genomes by morphing one shared `IncrementalCostEvaluator`
+/// between them: only the queries whose gene differs from the previously
+/// evaluated genome pay O(degree), instead of every genome paying a full
+/// O(plans + savings) re-evaluation. GA populations converge, so
+/// consecutive genomes differ in few genes and evaluation is near O(diff).
+class GenomeEvaluator {
+ public:
+  explicit GenomeEvaluator(const mqo::MqoProblem& problem)
+      : problem_(problem), eval_(problem) {}
+
+  /// Exact-cost re-anchor (bounds floating-point drift of the incremental
+  /// deltas); call once per generation. Returns the exact cost.
+  double Reanchor(const Genome& genome) {
+    eval_.Reset(GenomeToSolution(problem_, genome));
+    anchored_ = true;
+    return eval_.cost();
+  }
+
+  double Cost(const Genome& genome) {
+    if (!anchored_) return Reanchor(genome);
+    for (mqo::QueryId q = 0; q < problem_.num_queries(); ++q) {
+      mqo::PlanId p =
+          problem_.first_plan(q) + genome[static_cast<size_t>(q)];
+      if (eval_.selected(q) != p) eval_.ApplySwap(q, p);
+    }
+    return eval_.cost();
+  }
+
+ private:
+  const mqo::MqoProblem& problem_;
+  mqo::IncrementalCostEvaluator eval_;
+  bool anchored_ = false;
+};
 
 }  // namespace
 
@@ -50,6 +76,7 @@ Result<mqo::MqoSolution> GeneticAlgorithm::Optimize(
     Genome genome;
     double cost = 0.0;
   };
+  GenomeEvaluator evaluator(problem);
   std::vector<Individual> population;
   population.reserve(static_cast<size_t>(pop_size));
   for (int i = 0; i < pop_size; ++i) {
@@ -59,7 +86,7 @@ Result<mqo::MqoSolution> GeneticAlgorithm::Optimize(
       ind.genome[static_cast<size_t>(q)] =
           rng->UniformInt(0, problem.num_plans_of(q) - 1);
     }
-    ind.cost = GenomeCost(problem, ind.genome);
+    ind.cost = evaluator.Cost(ind.genome);
     population.push_back(std::move(ind));
   }
   auto by_cost = [](const Individual& a, const Individual& b) {
@@ -91,12 +118,10 @@ Result<mqo::MqoSolution> GeneticAlgorithm::Optimize(
           population[static_cast<size_t>(rng->UniformInt(0, pop_size - 1))]
               .genome;
       int cut = rng->UniformInt(1, std::max(1, n - 1));
-      Individual child1;
-      Individual child2;
-      child1.genome.assign(a.begin(), a.begin() + cut);
-      child1.genome.insert(child1.genome.end(), b.begin() + cut, b.end());
-      child2.genome.assign(b.begin(), b.begin() + cut);
-      child2.genome.insert(child2.genome.end(), a.begin() + cut, a.end());
+      Individual child1{Genome(a), 0.0};
+      Individual child2{Genome(b), 0.0};
+      std::copy(b.begin() + cut, b.end(), child1.genome.begin() + cut);
+      std::copy(a.begin() + cut, a.end(), child2.genome.begin() + cut);
       offspring.push_back(std::move(child1));
       offspring.push_back(std::move(child2));
     }
@@ -115,7 +140,7 @@ Result<mqo::MqoSolution> GeneticAlgorithm::Optimize(
       if (changed) offspring.push_back(std::move(mutant));
     }
     for (Individual& child : offspring) {
-      child.cost = GenomeCost(problem, child.genome);
+      child.cost = evaluator.Cost(child.genome);
     }
     // Top-n selection over parents + offspring.
     population.insert(population.end(),
@@ -123,6 +148,9 @@ Result<mqo::MqoSolution> GeneticAlgorithm::Optimize(
                       std::make_move_iterator(offspring.end()));
     std::sort(population.begin(), population.end(), by_cost);
     population.resize(static_cast<size_t>(pop_size));
+    // Exact re-anchor once per generation so incremental-delta drift never
+    // accumulates across generations.
+    population.front().cost = evaluator.Reanchor(population.front().genome);
 
     if (population.front().cost < best_cost - 1e-12) {
       best_cost = population.front().cost;

@@ -50,11 +50,7 @@ void IsingProblem::EnsureFinalized() const {
             [](const Interaction& a, const Interaction& b) {
               return std::tie(a.i, a.j) < std::tie(b.i, b.j);
             });
-  adjacency_.assign(h_.size(), {});
-  for (const Interaction& term : couplings_) {
-    adjacency_[static_cast<size_t>(term.i)].emplace_back(term.j, term.weight);
-    adjacency_[static_cast<size_t>(term.j)].emplace_back(term.i, term.weight);
-  }
+  csr_.Build(num_spins(), couplings_);
   finalized_ = true;
 }
 
@@ -63,10 +59,14 @@ const std::vector<Interaction>& IsingProblem::couplings() const {
   return couplings_;
 }
 
-const std::vector<std::pair<VarId, double>>& IsingProblem::neighbors(
-    VarId i) const {
+NeighborView IsingProblem::neighbors(VarId i) const {
   EnsureFinalized();
-  return adjacency_[static_cast<size_t>(i)];
+  return csr_.row(i);
+}
+
+const CsrGraph& IsingProblem::csr() const {
+  EnsureFinalized();
+  return csr_;
 }
 
 double IsingProblem::Energy(const std::vector<int8_t>& s) const {
@@ -85,9 +85,12 @@ double IsingProblem::Energy(const std::vector<int8_t>& s) const {
 
 double IsingProblem::FlipDelta(const std::vector<int8_t>& s, VarId i) const {
   EnsureFinalized();
+  const int32_t* offsets = csr_.row_offsets.data();
+  const VarId* ids = csr_.neighbor_ids.data();
+  const double* weights = csr_.weights.data();
   double field = h_[static_cast<size_t>(i)];
-  for (const auto& [j, w] : adjacency_[static_cast<size_t>(i)]) {
-    field += w * static_cast<double>(s[static_cast<size_t>(j)]);
+  for (int32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+    field += weights[e] * static_cast<double>(s[static_cast<size_t>(ids[e])]);
   }
   // Flipping s_i negates its contribution s_i * field.
   return -2.0 * static_cast<double>(s[static_cast<size_t>(i)]) * field;

@@ -40,8 +40,20 @@ class IsingProblem {
   /// All couplings with i < j.
   const std::vector<Interaction>& couplings() const;
 
-  /// Neighbors of spin i as (j, J_ij) pairs.
-  const std::vector<std::pair<VarId, double>>& neighbors(VarId i) const;
+  /// Neighbors of spin i as (j, J_ij) pairs (a view into the CSR arrays,
+  /// sorted by neighbor id).
+  NeighborView neighbors(VarId i) const;
+
+  /// The CSR adjacency used by the annealing kernels. Valid until the next
+  /// mutation.
+  const CsrGraph& csr() const;
+
+  /// The fields as a flat array (index = spin id).
+  const std::vector<double>& fields() const { return h_; }
+
+  /// Builds the evaluation structures now (idempotent). Call before
+  /// sharing a const reference across threads.
+  void Finalize() const { EnsureFinalized(); }
 
   /// Evaluates H(s) for spins in {-1, +1} (stored as int8_t).
   double Energy(const std::vector<int8_t>& s) const;
@@ -62,7 +74,7 @@ class IsingProblem {
 
   mutable bool finalized_ = false;
   mutable std::vector<Interaction> couplings_;
-  mutable std::vector<std::vector<std::pair<VarId, double>>> adjacency_;
+  mutable CsrGraph csr_;
 };
 
 /// An Ising instance together with the constant separating its energy scale

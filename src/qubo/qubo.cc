@@ -54,11 +54,7 @@ void QuboProblem::EnsureFinalized() const {
             [](const Interaction& a, const Interaction& b) {
               return std::tie(a.i, a.j) < std::tie(b.i, b.j);
             });
-  adjacency_.assign(static_cast<size_t>(num_vars_), {});
-  for (const Interaction& term : interactions_) {
-    adjacency_[static_cast<size_t>(term.i)].emplace_back(term.j, term.weight);
-    adjacency_[static_cast<size_t>(term.j)].emplace_back(term.i, term.weight);
-  }
+  csr_.Build(num_vars_, interactions_);
   finalized_ = true;
 }
 
@@ -71,10 +67,14 @@ const std::vector<Interaction>& QuboProblem::interactions() const {
   return interactions_;
 }
 
-const std::vector<std::pair<VarId, double>>& QuboProblem::neighbors(
-    VarId i) const {
+NeighborView QuboProblem::neighbors(VarId i) const {
   EnsureFinalized();
-  return adjacency_[static_cast<size_t>(i)];
+  return csr_.row(i);
+}
+
+const CsrGraph& QuboProblem::csr() const {
+  EnsureFinalized();
+  return csr_;
 }
 
 double QuboProblem::Energy(const std::vector<uint8_t>& x) const {
@@ -96,9 +96,12 @@ double QuboProblem::FlipDelta(const std::vector<uint8_t>& x, VarId i) const {
   EnsureFinalized();
   // Local field: linear term plus quadratic terms with currently-set
   // neighbors. Flipping 0->1 adds the field, 1->0 removes it.
+  const int32_t* offsets = csr_.row_offsets.data();
+  const VarId* ids = csr_.neighbor_ids.data();
+  const double* weights = csr_.weights.data();
   double field = linear_[static_cast<size_t>(i)];
-  for (const auto& [j, w] : adjacency_[static_cast<size_t>(i)]) {
-    if (x[static_cast<size_t>(j)]) field += w;
+  for (int32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+    if (x[static_cast<size_t>(ids[e])]) field += weights[e];
   }
   return x[static_cast<size_t>(i)] ? -field : field;
 }

@@ -17,25 +17,18 @@
 #include <utility>
 #include <vector>
 
+#include "qubo/csr.h"
 #include "util/status.h"
 
 namespace qmqo {
 namespace qubo {
 
-/// Index of a binary variable.
-using VarId = int;
-
-/// One quadratic term w * x_i * x_j with i < j.
-struct Interaction {
-  VarId i = -1;
-  VarId j = -1;
-  double weight = 0.0;
-};
-
 /// A sparse QUBO instance. Build with `AddLinear` / `AddQuadratic`
 /// (weights accumulate), then evaluate. Evaluation structures (interaction
-/// list, adjacency) are built lazily on first use and invalidated by
+/// list, CSR adjacency) are built lazily on first use and invalidated by
 /// further mutation; instances are not thread-safe while being mutated.
+/// Concurrent *const* access is safe once `Finalize` (or any evaluation
+/// accessor) has run — the parallel read engine relies on this.
 class QuboProblem {
  public:
   /// Creates an instance with `num_vars` variables and no terms.
@@ -62,8 +55,20 @@ class QuboProblem {
   /// All quadratic terms with i < j (sorted lexicographically).
   const std::vector<Interaction>& interactions() const;
 
-  /// Neighbors of variable i as (j, w_ij) pairs.
-  const std::vector<std::pair<VarId, double>>& neighbors(VarId i) const;
+  /// Neighbors of variable i as (j, w_ij) pairs (a view into the CSR
+  /// arrays, sorted by neighbor id).
+  NeighborView neighbors(VarId i) const;
+
+  /// The CSR adjacency used by the annealing kernels. Valid until the next
+  /// mutation.
+  const CsrGraph& csr() const;
+
+  /// The linear coefficients as a flat array (index = variable id).
+  const std::vector<double>& linear_terms() const { return linear_; }
+
+  /// Builds the evaluation structures now (idempotent). Call before
+  /// sharing a const reference across threads.
+  void Finalize() const { EnsureFinalized(); }
 
   /// Evaluates E(x); `x` must have `num_vars()` entries of 0/1.
   double Energy(const std::vector<uint8_t>& x) const;
@@ -92,7 +97,7 @@ class QuboProblem {
   // Lazily derived evaluation structures.
   mutable bool finalized_ = false;
   mutable std::vector<Interaction> interactions_;
-  mutable std::vector<std::vector<std::pair<VarId, double>>> adjacency_;
+  mutable CsrGraph csr_;
 };
 
 }  // namespace qubo

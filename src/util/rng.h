@@ -68,8 +68,10 @@ class Rng {
   std::vector<int> SampleWithoutReplacement(int n, int count);
 
   /// Derives an independent child generator; children with distinct `salt`
-  /// values are decorrelated from each other and from the parent.
-  Rng Fork(uint64_t salt) {
+  /// values are decorrelated from each other and from the parent. Depends
+  /// only on the construction seed (not on draws made so far), so forking
+  /// is safe from concurrent reader threads and independent of fork order.
+  Rng Fork(uint64_t salt) const {
     return Rng(Scramble(seed_ ^ (0x9e3779b97f4a7c15ULL * (salt + 1))));
   }
 

@@ -1,0 +1,184 @@
+// CSR-vs-map equivalence: the CSR evaluation structures of QuboProblem and
+// IsingProblem must agree with reference implementations computed straight
+// from the coefficient-map accessors (linear/quadratic, field/coupling) on
+// random instances.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/csr.h"
+#include "qubo/ising.h"
+#include "qubo/qubo.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace qubo {
+namespace {
+
+QuboProblem RandomQubo(int num_vars, double density, Rng* rng) {
+  QuboProblem problem(num_vars);
+  for (int i = 0; i < num_vars; ++i) {
+    problem.AddLinear(i, rng->UniformReal(-4.0, 4.0));
+    for (int j = i + 1; j < num_vars; ++j) {
+      if (rng->Bernoulli(density)) {
+        problem.AddQuadratic(i, j, rng->UniformReal(-4.0, 4.0));
+      }
+    }
+  }
+  return problem;
+}
+
+IsingProblem RandomIsing(int num_spins, double density, Rng* rng) {
+  IsingProblem ising(num_spins);
+  for (int i = 0; i < num_spins; ++i) {
+    ising.AddField(i, rng->UniformReal(-2.0, 2.0));
+    for (int j = i + 1; j < num_spins; ++j) {
+      if (rng->Bernoulli(density)) {
+        ising.AddCoupling(i, j, rng->UniformReal(-2.0, 2.0));
+      }
+    }
+  }
+  return ising;
+}
+
+/// Reference energy straight from the map accessors; no CSR involved.
+double MapEnergy(const QuboProblem& problem, const std::vector<uint8_t>& x) {
+  double energy = 0.0;
+  for (VarId i = 0; i < problem.num_vars(); ++i) {
+    if (x[static_cast<size_t>(i)]) energy += problem.linear(i);
+    for (VarId j = i + 1; j < problem.num_vars(); ++j) {
+      if (x[static_cast<size_t>(i)] && x[static_cast<size_t>(j)]) {
+        energy += problem.quadratic(i, j);
+      }
+    }
+  }
+  return energy;
+}
+
+double MapEnergy(const IsingProblem& ising, const std::vector<int8_t>& s) {
+  double energy = 0.0;
+  for (VarId i = 0; i < ising.num_spins(); ++i) {
+    energy += ising.field(i) * static_cast<double>(s[static_cast<size_t>(i)]);
+    for (VarId j = i + 1; j < ising.num_spins(); ++j) {
+      energy += ising.coupling(i, j) *
+                static_cast<double>(s[static_cast<size_t>(i)]) *
+                static_cast<double>(s[static_cast<size_t>(j)]);
+    }
+  }
+  return energy;
+}
+
+class CsrEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrEquivalence, QuboEnergyAndFlipDeltaMatchMapReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  QuboProblem problem = RandomQubo(rng.UniformInt(2, 24), 0.4, &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uint8_t> x(static_cast<size_t>(problem.num_vars()));
+    for (auto& bit : x) bit = rng.Bernoulli(0.5) ? 1 : 0;
+    EXPECT_NEAR(problem.Energy(x), MapEnergy(problem, x), 1e-9);
+    for (VarId i = 0; i < problem.num_vars(); ++i) {
+      std::vector<uint8_t> flipped = x;
+      flipped[static_cast<size_t>(i)] ^= 1;
+      EXPECT_NEAR(problem.FlipDelta(x, i),
+                  MapEnergy(problem, flipped) - MapEnergy(problem, x), 1e-9);
+    }
+  }
+}
+
+TEST_P(CsrEquivalence, IsingEnergyAndFlipDeltaMatchMapReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  IsingProblem ising = RandomIsing(rng.UniformInt(2, 24), 0.4, &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int8_t> s(static_cast<size_t>(ising.num_spins()));
+    for (auto& spin : s) spin = rng.Bernoulli(0.5) ? 1 : -1;
+    EXPECT_NEAR(ising.Energy(s), MapEnergy(ising, s), 1e-9);
+    for (VarId i = 0; i < ising.num_spins(); ++i) {
+      std::vector<int8_t> flipped = s;
+      flipped[static_cast<size_t>(i)] =
+          static_cast<int8_t>(-flipped[static_cast<size_t>(i)]);
+      EXPECT_NEAR(ising.FlipDelta(s, i),
+                  MapEnergy(ising, flipped) - MapEnergy(ising, s), 1e-9);
+    }
+  }
+}
+
+TEST_P(CsrEquivalence, QuboNeighborsMatchMapReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 300);
+  QuboProblem problem = RandomQubo(rng.UniformInt(2, 24), 0.4, &rng);
+  for (VarId i = 0; i < problem.num_vars(); ++i) {
+    // Reference: every j with a nonzero-touched quadratic term, ascending.
+    std::vector<std::pair<VarId, double>> expected;
+    for (const Interaction& term : problem.interactions()) {
+      if (term.i == i) expected.emplace_back(term.j, term.weight);
+      if (term.j == i) expected.emplace_back(term.i, term.weight);
+    }
+    std::sort(expected.begin(), expected.end());
+    NeighborView view = problem.neighbors(i);
+    ASSERT_EQ(view.size(), expected.size());
+    size_t k = 0;
+    for (const auto& [j, w] : view) {
+      EXPECT_EQ(j, expected[k].first);
+      EXPECT_DOUBLE_EQ(w, expected[k].second);
+      ++k;
+    }
+    // operator[] agrees with iteration.
+    for (size_t e = 0; e < view.size(); ++e) {
+      EXPECT_EQ(view[e].first, expected[e].first);
+      EXPECT_DOUBLE_EQ(view[e].second, expected[e].second);
+    }
+  }
+}
+
+TEST_P(CsrEquivalence, IsingNeighborsMatchCouplings) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 400);
+  IsingProblem ising = RandomIsing(rng.UniformInt(2, 24), 0.4, &rng);
+  const CsrGraph& csr = ising.csr();
+  ASSERT_EQ(csr.num_vars(), ising.num_spins());
+  int total_entries = 0;
+  for (VarId i = 0; i < ising.num_spins(); ++i) {
+    VarId previous = -1;
+    for (const auto& [j, w] : ising.neighbors(i)) {
+      EXPECT_GT(j, previous);  // sorted, no duplicates
+      previous = j;
+      EXPECT_DOUBLE_EQ(w, ising.coupling(i, j));
+      ++total_entries;
+    }
+  }
+  // Every coupling appears exactly twice across the rows.
+  EXPECT_EQ(total_entries, 2 * static_cast<int>(ising.couplings().size()));
+}
+
+TEST_P(CsrEquivalence, MutationInvalidatesAndRebuilds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 500);
+  QuboProblem problem = RandomQubo(8, 0.5, &rng);
+  std::vector<uint8_t> x(8, 1);
+  double before = problem.Energy(x);  // forces CSR build
+  problem.AddQuadratic(0, 7, 2.5);
+  EXPECT_NEAR(problem.Energy(x), before + 2.5, 1e-9);
+  EXPECT_NEAR(problem.Energy(x), MapEnergy(problem, x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalence, ::testing::Range(0, 8));
+
+TEST(CsrGraphTest, EmptyProblem) {
+  QuboProblem problem(3);
+  const CsrGraph& csr = problem.csr();
+  EXPECT_EQ(csr.num_vars(), 3);
+  for (VarId i = 0; i < 3; ++i) {
+    EXPECT_EQ(csr.degree(i), 0);
+    EXPECT_TRUE(problem.neighbors(i).empty());
+  }
+}
+
+TEST(CsrGraphTest, ZeroVariableProblem) {
+  QuboProblem problem(0);
+  EXPECT_EQ(problem.csr().num_vars(), 0);
+  EXPECT_DOUBLE_EQ(problem.Energy({}), 0.0);
+}
+
+}  // namespace
+}  // namespace qubo
+}  // namespace qmqo

@@ -1,0 +1,203 @@
+// Determinism of the parallel read engine: for a fixed seed, serial and
+// multi-threaded execution (1, 2, 8 workers) must produce *identical*
+// SampleSets — same assignments, energies, occurrence counts, and order —
+// for SA, SQA, and the device simulator.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/dwave_simulator.h"
+#include "anneal/parallel.h"
+#include "anneal/sample_set.h"
+#include "anneal/simulated_annealer.h"
+#include "anneal/sqa.h"
+#include "qubo/qubo.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace anneal {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+qubo::QuboProblem RandomQubo(int num_vars, double density, Rng* rng) {
+  qubo::QuboProblem problem(num_vars);
+  for (int i = 0; i < num_vars; ++i) {
+    problem.AddLinear(i, rng->UniformReal(-4.0, 4.0));
+    for (int j = i + 1; j < num_vars; ++j) {
+      if (rng->Bernoulli(density)) {
+        problem.AddQuadratic(i, j, rng->UniformReal(-4.0, 4.0));
+      }
+    }
+  }
+  return problem;
+}
+
+/// Exact equality — bit-identical energies, not approximate.
+void ExpectIdentical(const SampleSet& a, const SampleSet& b) {
+  EXPECT_EQ(a.total_reads(), b.total_reads());
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].assignment, b.samples()[i].assignment);
+    EXPECT_EQ(a.samples()[i].energy, b.samples()[i].energy);
+    EXPECT_EQ(a.samples()[i].num_occurrences, b.samples()[i].num_occurrences);
+  }
+}
+
+TEST(RunReadsTest, PartitionsEveryReadExactlyOnce) {
+  for (int threads : {1, 2, 3, 8, 16}) {
+    SampleSet set = RunReads(13, threads, [](int read, SampleSet* local) {
+      local->Add({static_cast<uint8_t>(read)}, static_cast<double>(read));
+    });
+    EXPECT_EQ(set.total_reads(), 13);
+    ASSERT_EQ(set.samples().size(), 13u);
+    for (int read = 0; read < 13; ++read) {
+      EXPECT_EQ(set.samples()[static_cast<size_t>(read)].energy,
+                static_cast<double>(read));
+    }
+  }
+}
+
+TEST(RunReadsTest, ZeroReadsYieldsEmptyFinalizedSet) {
+  SampleSet set = RunReads(0, 4, [](int, SampleSet*) { FAIL(); });
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total_reads(), 0);
+}
+
+TEST(RunReadsTest, MoreThreadsThanReads) {
+  SampleSet set = RunReads(3, 16, [](int read, SampleSet* local) {
+    local->Add({static_cast<uint8_t>(read)}, 0.0);
+  });
+  EXPECT_EQ(set.total_reads(), 3);
+}
+
+TEST(RunReadsTest, WorkerExceptionPropagates) {
+  EXPECT_THROW(RunReads(8, 4,
+                        [](int read, SampleSet*) {
+                          if (read == 5) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST(ParallelDeterminismTest, SimulatedAnnealerMatchesSerial) {
+  Rng rng(42);
+  qubo::QuboProblem problem = RandomQubo(24, 0.3, &rng);
+  SaOptions options;
+  options.num_reads = 33;
+  options.sweeps_per_read = 64;
+  options.seed = 7;
+  options.num_threads = 1;
+  SampleSet serial = SimulatedAnnealer(options).Sample(problem);
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    SampleSet parallel = SimulatedAnnealer(options).Sample(problem);
+    ExpectIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, SqaMatchesSerial) {
+  Rng rng(43);
+  qubo::QuboProblem problem = RandomQubo(12, 0.4, &rng);
+  SqaOptions options;
+  options.num_reads = 9;
+  options.num_slices = 6;
+  options.sweeps = 48;
+  options.seed = 11;
+  options.num_threads = 1;
+  SampleSet serial = SimulatedQuantumAnnealer(options).Sample(problem);
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    SampleSet parallel = SimulatedQuantumAnnealer(options).Sample(problem);
+    ExpectIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, DeviceSimulatorMatchesSerial) {
+  Rng rng(44);
+  qubo::QuboProblem problem = RandomQubo(16, 0.4, &rng);
+  DWaveOptions options;
+  options.num_reads = 40;
+  options.num_gauges = 4;
+  options.sa_sweeps = 32;
+  options.seed = 99;
+  options.record_reads = true;
+  options.num_threads = 1;
+  auto serial = DWaveSimulator(options).Sample(problem);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    auto parallel = DWaveSimulator(options).Sample(problem);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdentical(serial->samples, parallel->samples);
+    // raw_reads must stay chronological regardless of worker assignment.
+    EXPECT_EQ(serial->raw_reads, parallel->raw_reads);
+  }
+}
+
+TEST(ParallelDeterminismTest, DeviceSimulatorSqaBackendMatchesSerial) {
+  Rng rng(45);
+  qubo::QuboProblem problem = RandomQubo(10, 0.4, &rng);
+  DWaveOptions options;
+  options.backend = DeviceBackend::kSimulatedQuantumAnnealing;
+  options.num_reads = 12;
+  options.num_gauges = 3;
+  options.sqa.num_slices = 4;
+  options.sqa.sweeps = 32;
+  options.seed = 5;
+  options.num_threads = 1;
+  auto serial = DWaveSimulator(options).Sample(problem);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    auto parallel = DWaveSimulator(options).Sample(problem);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdentical(serial->samples, parallel->samples);
+  }
+}
+
+TEST(SampleSetOpsTest, AddEnergyOffsetShiftsInPlace) {
+  SampleSet set;
+  set.Add({1, 0}, 3.0);
+  set.Add({0, 1}, -1.0);
+  set.Finalize();
+  set.AddEnergyOffset(10.0);
+  EXPECT_DOUBLE_EQ(set.samples()[0].energy, 9.0);
+  EXPECT_DOUBLE_EQ(set.samples()[1].energy, 13.0);
+  EXPECT_EQ(set.total_reads(), 2);
+}
+
+TEST(SampleSetOpsTest, AppendThenFinalizeEqualsMerge) {
+  SampleSet a;
+  a.Add({1}, 1.0);
+  a.Add({0}, 0.0);
+  a.Finalize();
+  SampleSet b;
+  b.Add({1}, 1.0);
+  b.Add({1, 1}, 2.0);  // different assignment, makes ordering interesting
+  b.Finalize();
+
+  SampleSet merged = a;
+  merged.Merge(b);
+  SampleSet appended = a;
+  appended.Append(b);
+  appended.Finalize();
+  ExpectIdentical(merged, appended);
+  EXPECT_EQ(merged.total_reads(), 4);
+  EXPECT_EQ(merged.samples()[1].num_occurrences, 2);  // {1} twice
+}
+
+TEST(SampleSetOpsTest, MergeUnfinalizedInputsStillFinalizes) {
+  SampleSet a;
+  a.Add({1}, 5.0);
+  SampleSet b;
+  b.Add({0}, -5.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.best().energy, -5.0);
+  EXPECT_EQ(a.total_reads(), 2);
+}
+
+}  // namespace
+}  // namespace anneal
+}  // namespace qmqo
