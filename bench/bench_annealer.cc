@@ -23,6 +23,7 @@
 #include "bench_common.h"
 #include "chimera/topology.h"
 #include "qubo/ising.h"
+#include "util/executor.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -170,11 +171,20 @@ int main() {
   bench::JsonArray rows;
   bool all_identical = true;
 
+  // One worker pool for the whole bench, sized to the largest thread
+  // count: every engine run below enqueues on it, so after this line the
+  // process-wide spawn counter must not move — the reuse gate at the
+  // bottom fails the bench if any run spawned threads of its own.
+  qmqo::util::Executor pool(8);
+  const int64_t workers_spawned_baseline =
+      qmqo::util::Executor::TotalWorkersSpawned();
+
   // --- SA: the acceptance-criteria engine. ---
   anneal::SaOptions sa;
   sa.num_reads = full ? 256 : 48;
   sa.sweeps_per_read = 256;
   sa.seed = 7;
+  sa.executor = &pool;
   const double sa_sweep_spins =
       static_cast<double>(sa.num_reads) * sa.sweeps_per_read * n;
   RunResult sa_serial;
@@ -226,6 +236,7 @@ int main() {
   sqa.num_slices = 8;
   sqa.sweeps = 32;
   sqa.seed = 7;
+  sqa.executor = &pool;
   const double sqa_sweep_spins = static_cast<double>(sqa.num_reads) *
                                  sqa.sweeps * sqa.num_slices * n;
   all_identical &= BenchEngine("sqa", threads, sqa_sweep_spins, &rows,
@@ -248,6 +259,7 @@ int main() {
   device.num_gauges = 5;
   device.sa_sweeps = 256;
   device.seed = 7;
+  device.executor = &pool;
   const double device_sweep_spins =
       static_cast<double>(device.num_reads) * device.sa_sweeps * n;
   all_identical &= BenchEngine(
@@ -268,6 +280,14 @@ int main() {
         return result;
       });
 
+  // Pool-reuse gate: every parallel run above must have executed on the
+  // one pool created before the timed section.
+  const int64_t workers_spawned_during_runs =
+      qmqo::util::Executor::TotalWorkersSpawned() - workers_spawned_baseline;
+  std::printf("worker threads spawned during timed runs: %lld (pool size %d)\n",
+              static_cast<long long>(workers_spawned_during_runs),
+              pool.num_threads());
+
   bench::JsonObject root;
   root.Add("bench", "annealer")
       .Add("spins", n)
@@ -276,6 +296,9 @@ int main() {
       .Add("full_scale", full)
       .Add("all_identical_to_serial", all_identical)
       .Add("csr_serial_speedup_vs_legacy", legacy_speedup)
+      .Add("executor_pool_size", pool.num_threads())
+      .Add("workers_spawned_during_runs",
+           static_cast<int64_t>(workers_spawned_during_runs))
       .AddRaw("runs", rows.Dump());
   std::string path = bench::WriteBenchArtifact("annealer", root);
   if (path.empty()) {
@@ -286,6 +309,13 @@ int main() {
   if (!all_identical) {
     std::fprintf(stderr,
                  "FAIL: parallel sample sets differ from the serial path\n");
+    return 1;
+  }
+  if (workers_spawned_during_runs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: engines spawned %lld threads instead of reusing the "
+                 "shared pool\n",
+                 static_cast<long long>(workers_spawned_during_runs));
     return 1;
   }
   return 0;

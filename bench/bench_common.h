@@ -29,6 +29,22 @@ inline bool FullScale() {
   return env != nullptr && std::string(env) == "1";
 }
 
+/// Worker threads for the benches' experiment fan-out, from
+/// QMQO_BENCH_THREADS: 1 = serial (the default, keeping wall-clock numbers
+/// comparable across machines), 0 = hardware concurrency. All
+/// seed-derived quantities (QA sample sets, workloads, embeddings) are
+/// bit-identical for every value; the classical baselines run under
+/// *wall-clock* budgets, so their recorded costs and timings vary run to
+/// run regardless of threading — and concurrent instances contending for
+/// cores can shift them further. Use serial runs (or the deterministic
+/// caps in ExperimentConfig) when those numbers are the measurement.
+inline int BenchThreads() {
+  const char* env = std::getenv("QMQO_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  int threads = std::atoi(env);
+  return threads >= 0 ? threads : 1;
+}
+
 // ----------------------------------------------------------------------
 // Machine-readable bench artifacts (BENCH_<name>.json).
 //
@@ -167,6 +183,9 @@ inline harness::ExperimentConfig MakeClassConfig(const PaperClass& cls,
   config.quantum.device.num_reads = FullScale() ? 1000 : 300;
   config.quantum.device.num_gauges = 10;
   config.seed = seed;
+  // Instances fan out across the shared worker pool; QMQO_BENCH_THREADS=0
+  // uses every core (see BenchThreads() for what stays deterministic).
+  config.num_threads = BenchThreads();
   return config;
 }
 

@@ -2,7 +2,10 @@
 // for the hardest class — 537 queries with 2 plans per query — comparing
 // the (simulated) quantum annealer against LIN-MQO, LIN-QUB, CLIMB,
 // GA(50) and GA(200). Also reports the paper's in-text statistics for
-// this class.
+// this class. QMQO_BENCH_THREADS=N fans the class's instances across the
+// shared worker pool (QA results are bit-identical at any thread count;
+// the classical baselines' wall-clock budgets make their curves
+// run-dependent either way — keep 1 thread when timing them).
 
 #include "bench_figure_common.h"
 

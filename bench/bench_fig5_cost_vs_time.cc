@@ -2,6 +2,10 @@
 // for the class with the most plans per query — 108 queries with 5 plans
 // each — where the quantum advantage shrinks (more qubits per variable,
 // larger invalid-state blowup in the QUBO reformulation).
+// QMQO_BENCH_THREADS=N fans the class's instances across the shared
+// worker pool (QA results are bit-identical at any thread count; the
+// classical baselines' wall-clock budgets make their curves
+// run-dependent either way — keep 1 thread when timing them).
 
 #include "bench_figure_common.h"
 

@@ -5,12 +5,14 @@
 // D-Wave 2X for the four experiment classes.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "embedding/capacity.h"
+#include "util/executor.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -54,12 +56,26 @@ int main() {
   chimera::ChimeraGraph chip = chimera::ChimeraGraph::DWave2XWithDefects(&rng);
   TablePrinter classes(
       {"plans/query", "paper queries", "measured capacity", "used in benches"});
-  for (const bench::PaperClass& cls : bench::kPaperClasses) {
-    int measured = embedding::MeasuredMaxQueries(chip, cls.plans_per_query);
+  // The measured capacities (matching / binary-searched embeddings) are
+  // independent per class: fan them across the shared pool and emit rows
+  // in class order.
+  constexpr size_t kNumClasses =
+      sizeof(bench::kPaperClasses) / sizeof(bench::kPaperClasses[0]);
+  std::vector<int> measured(kNumClasses, 0);
+  util::Executor::Run(
+      nullptr, static_cast<int>(kNumClasses), bench::BenchThreads(),
+      [&](int begin, int end, int /*chunk*/) {
+        for (int i = begin; i < end; ++i) {
+          measured[static_cast<size_t>(i)] = embedding::MeasuredMaxQueries(
+              chip, bench::kPaperClasses[i].plans_per_query);
+        }
+      });
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    const bench::PaperClass& cls = bench::kPaperClasses[i];
     classes.AddRow({StrFormat("%d", cls.plans_per_query),
                     StrFormat("%d", cls.num_queries),
-                    StrFormat("%d", measured),
-                    StrFormat("%d", std::min(measured, cls.num_queries))});
+                    StrFormat("%d", measured[i]),
+                    StrFormat("%d", std::min(measured[i], cls.num_queries))});
   }
   std::printf("%s\n", classes.ToString().c_str());
   return 0;

@@ -35,10 +35,13 @@ inline int RunCostVsTimeFigure(const char* figure_name,
   std::printf("=== %s: %d queries, %d plans per query, %d instances ===\n",
               figure_name, config.workload.num_queries,
               cls.plans_per_query, config.num_instances);
-  std::printf("classical budget per algorithm: %.0f ms%s\n\n",
+  std::printf("classical budget per algorithm: %.0f ms%s\n",
               config.classical_time_limit_ms,
               FullScale() ? " (QMQO_BENCH_FULL)" :
                             " (set QMQO_BENCH_FULL=1 for paper scale)");
+  std::printf("instance fan-out threads: %d (QMQO_BENCH_THREADS; QA results "
+              "identical at any count, classical budgets are wall-clock)\n\n",
+              config.num_threads);
 
   auto result = harness::RunExperimentClass(config, graph);
   if (!result.ok()) {

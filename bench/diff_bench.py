@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json artifact against a committed baseline.
+
+Usage:
+    diff_bench.py FRESH_JSON BASELINE_JSON [--max-regression PCT]
+                  [--metric NAME]
+
+Exits nonzero when
+  * any (engine, threads) row present in the baseline is missing from the
+    fresh artifact (coverage regression),
+  * any row's throughput metric (default: sweep_spins_per_sec) regressed
+    by more than --max-regression percent (default: 50) relative to the
+    baseline,
+  * the fresh artifact reports a determinism failure
+    (all_identical_to_serial / identical_to_serial false), or
+  * the fresh artifact reports worker threads spawned during timed runs
+    (the pool-reuse gate).
+
+The default threshold is deliberately loose: bench machines differ (CI
+runners vs laptops), so this gate is meant to catch order-of-magnitude
+performance cliffs and correctness-flag regressions, not single-digit
+noise. Track fine-grained trends by archiving the uploaded artifacts.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"diff_bench: cannot read {path}: {error}")
+
+
+def rows_by_key(artifact):
+    rows = artifact.get("runs", [])
+    if not isinstance(rows, list):
+        sys.exit("diff_bench: 'runs' is not a list")
+    return {(row.get("engine"), row.get("threads")): row for row in rows}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare a fresh bench artifact against a baseline.")
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=50.0,
+                        metavar="PCT",
+                        help="maximum tolerated throughput regression in "
+                             "percent (default: %(default)s)")
+    parser.add_argument("--metric", default="sweep_spins_per_sec",
+                        help="per-row throughput metric to compare "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    fresh_rows = rows_by_key(fresh)
+    baseline_rows = rows_by_key(baseline)
+
+    failures = []
+
+    if fresh.get("all_identical_to_serial") is False:
+        failures.append("fresh artifact reports a parallel-vs-serial "
+                        "determinism MISMATCH")
+    spawned = fresh.get("workers_spawned_during_runs")
+    if isinstance(spawned, (int, float)) and spawned != 0:
+        failures.append(f"fresh artifact reports {spawned} worker threads "
+                        "spawned during timed runs (pool not reused)")
+
+    print(f"{'engine':<12}{'threads':>8}{'baseline':>14}{'fresh':>14}"
+          f"{'delta':>9}")
+    for key in sorted(baseline_rows, key=lambda k: (str(k[0]), str(k[1]))):
+        engine, threads = key
+        base_row = baseline_rows[key]
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            failures.append(f"row ({engine}, threads={threads}) missing "
+                            "from fresh artifact")
+            continue
+        if fresh_row.get("identical_to_serial") is False:
+            failures.append(f"row ({engine}, threads={threads}) is not "
+                            "identical to the serial run")
+        base_value = base_row.get(args.metric)
+        fresh_value = fresh_row.get(args.metric)
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        if not isinstance(fresh_value, (int, float)):
+            failures.append(f"row ({engine}, threads={threads}) has no "
+                            f"numeric '{args.metric}'")
+            continue
+        delta_pct = 100.0 * (fresh_value - base_value) / base_value
+        print(f"{engine:<12}{threads:>8}{base_value:>14.3e}"
+              f"{fresh_value:>14.3e}{delta_pct:>+8.1f}%")
+        if -delta_pct > args.max_regression:
+            failures.append(
+                f"row ({engine}, threads={threads}): {args.metric} "
+                f"regressed {-delta_pct:.1f}% "
+                f"(limit {args.max_regression:.1f}%)")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regression beyond {args.max_regression:.1f}% and all "
+          "determinism flags clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,18 +2,30 @@
 // generation? Reproduces the reasoning behind the paper's Figure 7 as a
 // small CLI tool.
 //
-// Usage:   ./build/examples/capacity_planner [num_queries plans_per_query]
+// Usage:   ./build/capacity_planner [num_queries plans_per_query]
+//          ./build/capacity_planner --threads N
 //
 // Without arguments, prints the capacity table for three hardware
 // generations. With a workload size, reports which generation (if any)
-// can host it and how many qubits it would use.
+// can host it and how many qubits it would use. With --threads N
+// (0 = all cores), additionally *measures* capacity on the simulated
+// defective D-Wave 2X — one embedding search per plans-per-query value,
+// fanned across the shared worker pool — and prints the wall-clock
+// speedup over the serial pass (the measured numbers are identical at
+// every thread count).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include "chimera/topology.h"
 #include "embedding/capacity.h"
 #include "embedding/clique_in_cell.h"
 #include "embedding/triad.h"
+#include "util/executor.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -35,6 +47,62 @@ constexpr Generation kGenerations[] = {
 
 int main(int argc, char** argv) {
   using namespace qmqo;
+
+  if (argc == 3 && std::strcmp(argv[1], "--threads") == 0) {
+    const int num_threads = std::atoi(argv[2]);
+    const int resolved = util::ResolveNumThreads(num_threads);
+    const int min_plans = 2;
+    const int max_plans = 7;
+    const int count = max_plans - min_plans + 1;
+
+    Rng rng(1);
+    chimera::ChimeraGraph chip =
+        chimera::ChimeraGraph::DWave2XWithDefects(&rng);
+    std::printf("=== Measured capacity, defective D-Wave 2X (%d working "
+                "qubits) ===\n\n",
+                chip.num_working_qubits());
+
+    auto measure = [&](int threads, std::vector<int>* capacities) {
+      util::Executor::Run(
+          nullptr, count, threads,
+          [&](int begin, int end, int /*chunk*/) {
+            for (int i = begin; i < end; ++i) {
+              (*capacities)[static_cast<size_t>(i)] =
+                  embedding::MeasuredMaxQueries(chip, min_plans + i);
+            }
+          });
+    };
+
+    std::vector<int> serial(static_cast<size_t>(count), 0);
+    Stopwatch serial_watch;
+    measure(1, &serial);
+    double serial_ms = serial_watch.ElapsedMillis();
+
+    std::vector<int> parallel(static_cast<size_t>(count), 0);
+    Stopwatch parallel_watch;
+    measure(num_threads, &parallel);
+    double parallel_ms = parallel_watch.ElapsedMillis();
+
+    TablePrinter table({"plans/query", "analytic (12x12)", "measured"});
+    bool identical = true;
+    for (int i = 0; i < count; ++i) {
+      identical = identical && serial[static_cast<size_t>(i)] ==
+                                   parallel[static_cast<size_t>(i)];
+      table.AddRow(
+          {StrFormat("%d", min_plans + i),
+           StrFormat("%d", embedding::MaxQueriesForDimensions(
+                               chip.rows(), chip.cols(), chip.shore(),
+                               min_plans + i)),
+           StrFormat("%d", serial[static_cast<size_t>(i)])});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("embedding searches on %d threads: %.1f ms -> %.1f ms "
+                "(%.2fx); results %s\n",
+                resolved, serial_ms, parallel_ms,
+                parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+                identical ? "identical to serial" : "MISMATCH (bug!)");
+    return identical ? 0 : 1;
+  }
 
   if (argc == 3) {
     int num_queries = std::atoi(argv[1]);

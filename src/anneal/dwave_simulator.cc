@@ -71,6 +71,9 @@ Result<DeviceResult> DWaveSimulator::Sample(
 
   DeviceResult result;
   Rng rng(options_.seed);
+  // One pool for every gauge (and the SQA backend): RunReads maps a null
+  // executor to the shared singleton, so no gauge ever spawns threads.
+  util::Executor* executor = options_.executor;
   const int reads_per_gauge =
       std::max(1, options_.num_reads / options_.num_gauges);
   int reads_left = options_.num_reads;
@@ -118,7 +121,8 @@ Result<DeviceResult> DWaveSimulator::Sample(
               gauge_raw[static_cast<size_t>(read)] = assignment;
             }
             local->Add(std::move(assignment), energy);
-          });
+          },
+          executor);
       result.samples.Append(std::move(gauge_samples));
       for (std::vector<uint8_t>& raw : gauge_raw) {
         result.raw_reads.push_back(std::move(raw));
@@ -128,6 +132,7 @@ Result<DeviceResult> DWaveSimulator::Sample(
       sqa_options.num_reads = reads;
       sqa_options.seed = gauge_rng.Next();
       sqa_options.num_threads = options_.num_threads;
+      sqa_options.executor = executor;
       SimulatedQuantumAnnealer sqa(sqa_options);
       SampleSet gauge_samples = sqa.SampleIsing(programmed);
       for (const anneal::Sample& sample : gauge_samples.samples()) {

@@ -31,6 +31,10 @@
 #include "util/status.h"
 
 namespace qmqo {
+namespace util {
+class Executor;
+}  // namespace util
+
 namespace anneal {
 
 /// Backend used to draw samples from the device model.
@@ -72,6 +76,11 @@ struct DWaveOptions {
   /// machines), 0 = hardware concurrency. Results are bit-identical for
   /// every thread count (see anneal/parallel.h).
   int num_threads = 1;
+  /// Worker pool shared by all gauges of a `Sample` call (and by the SQA
+  /// backend); null = the process-wide `util::Executor::Shared()` pool.
+  /// Either way the pool is created once and reused — a device call spawns
+  /// zero threads per gauge. Never owned.
+  util::Executor* executor = nullptr;
 };
 
 /// Result of one device call.

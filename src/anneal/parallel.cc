@@ -1,27 +1,21 @@
 #include "anneal/parallel.h"
 
 #include <algorithm>
-#include <exception>
-#include <thread>
+#include <utility>
 #include <vector>
 
 namespace qmqo {
 namespace anneal {
 
-int ResolveNumThreads(int requested) {
-  if (requested >= 1) return requested;
-  unsigned hardware = std::thread::hardware_concurrency();
-  return hardware == 0 ? 1 : static_cast<int>(hardware);
-}
-
 SampleSet RunReads(int num_reads, int num_threads,
-                   const std::function<void(int, SampleSet*)>& run_read) {
+                   const std::function<void(int, SampleSet*)>& run_read,
+                   util::Executor* executor) {
   SampleSet out;
   if (num_reads <= 0) {
     out.Finalize();
     return out;
   }
-  int workers = std::min(ResolveNumThreads(num_threads), num_reads);
+  const int workers = std::min(ResolveNumThreads(num_threads), num_reads);
   if (workers == 1) {
     for (int read = 0; read < num_reads; ++read) {
       run_read(read, &out);
@@ -30,35 +24,20 @@ SampleSet RunReads(int num_reads, int num_threads,
     return out;
   }
 
-  // Contiguous read ranges per worker; the first `remainder` workers take
-  // one extra read. (Any partition works for determinism — Finalize makes
-  // the result order-independent — contiguous ranges just keep per-thread
-  // work predictable.)
+  // Chunk-local accumulation on the pool; any partition works for
+  // determinism — Finalize makes the result order-independent — the
+  // executor's static contiguous chunking just keeps per-chunk work
+  // predictable.
+  util::Executor& pool =
+      executor != nullptr ? *executor : util::Executor::Shared();
   std::vector<SampleSet> locals(static_cast<size_t>(workers));
-  std::vector<std::exception_ptr> errors(static_cast<size_t>(workers));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(workers));
-  const int base = num_reads / workers;
-  const int remainder = num_reads % workers;
-  int begin = 0;
-  for (int t = 0; t < workers; ++t) {
-    const int count = base + (t < remainder ? 1 : 0);
-    const int end = begin + count;
-    threads.emplace_back([&, t, begin, end]() {
-      try {
-        for (int read = begin; read < end; ++read) {
-          run_read(read, &locals[static_cast<size_t>(t)]);
-        }
-      } catch (...) {
-        errors[static_cast<size_t>(t)] = std::current_exception();
-      }
-    });
-    begin = end;
-  }
-  for (std::thread& thread : threads) thread.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  pool.ParallelFor(num_reads, workers,
+                   [&](int begin, int end, int chunk) {
+                     SampleSet* local = &locals[static_cast<size_t>(chunk)];
+                     for (int read = begin; read < end; ++read) {
+                       run_read(read, local);
+                     }
+                   });
   for (SampleSet& local : locals) {
     out.Append(std::move(local));
   }

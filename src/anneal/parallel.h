@@ -7,12 +7,14 @@
 /// Every sampler in this library runs `num_reads` *independent* anneals:
 /// read r forks its own RNG stream (`rng.Fork(r)`), so reads can execute in
 /// any order — and therefore on any thread — without changing a single
-/// random draw. `RunReads` fans the reads across `std::thread` workers;
-/// each worker accumulates its results into a thread-local `SampleSet`,
-/// and the locals are concatenated and finalized once at the end. Because
-/// `SampleSet::Finalize` imposes a total order (energy, then assignment)
-/// and merges duplicates, the finalized result is **bit-identical** for
-/// every thread count, including the serial path.
+/// random draw. `RunReads` fans the reads across a reusable
+/// `util::Executor` worker pool (caller-supplied, or the lazily-created
+/// process-wide `util::Executor::Shared()` pool) instead of spawning
+/// threads per call; each chunk accumulates its results into a chunk-local
+/// `SampleSet`, and the locals are concatenated and finalized once at the
+/// end. Because `SampleSet::Finalize` imposes a total order (energy, then
+/// assignment) and merges duplicates, the finalized result is
+/// **bit-identical** for every thread count, including the serial path.
 ///
 /// Callers must finalize shared problem structures (`IsingProblem::Finalize`
 /// / `QuboProblem::Finalize`) before entering the engine: lazy finalization
@@ -21,21 +23,26 @@
 #include <functional>
 
 #include "anneal/sample_set.h"
+#include "util/executor.h"
 
 namespace qmqo {
 namespace anneal {
 
-/// Resolves a requested worker count: values >= 1 pass through, anything
-/// else (0 = "auto") becomes the hardware concurrency (at least 1).
-int ResolveNumThreads(int requested);
+/// The shared thread-count resolution path (see util/executor.h): values
+/// >= 1 pass through, anything else (0 = "auto") becomes the hardware
+/// concurrency (at least 1).
+using util::ResolveNumThreads;
 
 /// Runs `run_read(read, &local)` for every read in [0, num_reads) across up
-/// to `num_threads` workers (0 = auto) and returns the finalized union of
-/// the thread-local sets. `run_read` must not touch shared mutable state;
-/// exceptions thrown by a worker are rethrown on the calling thread.
-/// `num_threads == 1` runs inline without spawning.
+/// to `num_threads` concurrent chunks (0 = auto) and returns the finalized
+/// union of the chunk-local sets. `run_read` must not touch shared mutable
+/// state; exceptions thrown by a worker are rethrown on the calling thread.
+/// `num_threads == 1` runs inline without touching any pool. `executor` is
+/// the pool to run on; null means the process-wide shared pool. No threads
+/// are ever spawned by this call itself.
 SampleSet RunReads(int num_reads, int num_threads,
-                   const std::function<void(int, SampleSet*)>& run_read);
+                   const std::function<void(int, SampleSet*)>& run_read,
+                   util::Executor* executor = nullptr);
 
 }  // namespace anneal
 }  // namespace qmqo

@@ -80,7 +80,8 @@ SampleSet SimulatedAnnealer::SampleIsing(const qubo::IsingProblem& ising) const 
         AnnealIsingOnce(ising, beta, options_.sweeps_per_read, &read_rng,
                         &spins);
         local->Add(qubo::SpinsToAssignment(spins), ising.Energy(spins));
-      });
+      },
+      options_.executor);
 }
 
 SampleSet SimulatedAnnealer::Sample(const qubo::QuboProblem& problem) const {

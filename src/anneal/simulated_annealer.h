@@ -19,6 +19,10 @@
 #include "util/rng.h"
 
 namespace qmqo {
+namespace util {
+class Executor;
+}  // namespace util
+
 namespace anneal {
 
 /// Options for `SimulatedAnnealer`.
@@ -36,6 +40,9 @@ struct SaOptions {
   /// concurrency. Results are bit-identical for every thread count (see
   /// anneal/parallel.h).
   int num_threads = 1;
+  /// Worker pool to fan reads across when `num_threads != 1`; null = the
+  /// process-wide `util::Executor::Shared()` pool. Never owned.
+  util::Executor* executor = nullptr;
 };
 
 /// Metropolis simulated annealing sampler.

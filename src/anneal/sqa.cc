@@ -171,7 +171,8 @@ SampleSet SimulatedQuantumAnnealer::SampleIsing(
         }
         local->Add(qubo::SpinsToAssignment(state.SliceCopy(best_slice)),
                    best_energy);
-      });
+      },
+      options_.executor);
 }
 
 SampleSet SimulatedQuantumAnnealer::Sample(const qubo::QuboProblem& problem) const {

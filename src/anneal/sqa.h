@@ -27,6 +27,10 @@
 #include "util/rng.h"
 
 namespace qmqo {
+namespace util {
+class Executor;
+}  // namespace util
+
 namespace anneal {
 
 /// Options for `SimulatedQuantumAnnealer`.
@@ -47,6 +51,9 @@ struct SqaOptions {
   /// concurrency. Results are bit-identical for every thread count (see
   /// anneal/parallel.h).
   int num_threads = 1;
+  /// Worker pool to fan reads across when `num_threads != 1`; null = the
+  /// process-wide `util::Executor::Shared()` pool. Never owned.
+  util::Executor* executor = nullptr;
 };
 
 /// Path-integral Monte Carlo sampler.

@@ -1,13 +1,16 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "baselines/genetic.h"
 #include "baselines/hill_climbing.h"
 #include "mapping/logical_mapping.h"
 #include "solver/mqo_bnb.h"
 #include "solver/qubo_bnb.h"
+#include "util/executor.h"
 #include "util/string_util.h"
 
 namespace qmqo {
@@ -26,136 +29,208 @@ double ScaleBase(const mqo::MqoProblem& problem) {
   return base;
 }
 
+/// Everything one instance produces: the run plus the (possibly clamped)
+/// query count of the generated instance.
+struct InstanceOutcome {
+  InstanceRun run;
+  int num_queries = 0;
+};
+
+/// Runs instance `instance_id` of a class. Self-contained: all randomness
+/// comes from `Rng(config.seed).Fork(instance_id)` — `Fork` depends only on
+/// the construction seed, so instances can execute in any order and on any
+/// thread without changing a single draw.
+Result<InstanceOutcome> RunInstance(const ExperimentConfig& config,
+                                    const chimera::ChimeraGraph& graph,
+                                    int instance_id) {
+  Rng instance_rng =
+      Rng(config.seed).Fork(static_cast<uint64_t>(instance_id));
+  QMQO_ASSIGN_OR_RETURN(
+      PaperInstance instance,
+      GeneratePaperInstance(graph, config.workload, &instance_rng));
+
+  InstanceOutcome outcome;
+  outcome.num_queries = instance.num_queries;
+  InstanceRun& run = outcome.run;
+  run.scale_base = ScaleBase(instance.problem);
+  run.logical_vars = instance.problem.num_plans();
+
+  // --- Quantum annealer (Algorithm 1 on the simulated device). ---
+  {
+    QuantumMqoOptions quantum = config.quantum;
+    // A caller-supplied harness pool also serves the nested device reads,
+    // keeping the whole class on one pool unless the device options name
+    // their own.
+    if (quantum.device.executor == nullptr) {
+      quantum.device.executor = config.executor;
+    }
+    quantum.device.seed = instance_rng.Next();
+    QMQO_ASSIGN_OR_RETURN(
+        QuantumMqoResult qa,
+        SolveQuantumMqo(instance.problem, instance.embedding, graph,
+                        quantum));
+    AlgorithmSeries series;
+    series.name = "QA";
+    series.trajectory = qa.cost_vs_device_time;
+    series.device_time_axis = true;
+    run.series.push_back(std::move(series));
+    run.qa_first_read_cost = qa.first_read_cost;
+    run.qa_final_cost = qa.best_cost;
+    run.preprocessing_ms = qa.preprocessing_ms;
+    run.qa_read_ms = (quantum.device.anneal_time_us +
+                      quantum.device.readout_time_us) /
+                     1000.0;
+    run.physical_qubits = qa.physical_qubits;
+  }
+
+  // --- LIN-MQO: exact branch and bound on the native model. ---
+  {
+    solver::MqoBnbOptions options;
+    options.time_limit_ms = config.classical_time_limit_ms;
+    if (config.classical_max_nodes > 0) {
+      options.max_nodes = config.classical_max_nodes;
+    }
+    solver::MqoBranchAndBound bnb(options);
+    AlgorithmSeries series;
+    series.name = "LIN-MQO";
+    QMQO_ASSIGN_OR_RETURN(
+        solver::MqoBnbResult bnb_result,
+        bnb.Solve(instance.problem,
+                  [&](double ms, double cost, const mqo::MqoSolution&) {
+                    series.trajectory.Record(ms, cost);
+                  }));
+    run.series.push_back(std::move(series));
+    run.optimum_proven = bnb_result.proven_optimal;
+    run.lin_mqo_proof_ms = bnb_result.total_time_ms;
+    run.lin_mqo_proof_capped = !bnb_result.proven_optimal;
+  }
+
+  // --- LIN-QUB: exact branch and bound on the QUBO reformulation. ---
+  if (config.run_lin_qub) {
+    QMQO_ASSIGN_OR_RETURN(
+        mapping::LogicalMapping logical,
+        mapping::LogicalMapping::Create(instance.problem));
+    solver::QuboBnbOptions options;
+    options.time_limit_ms = config.classical_time_limit_ms;
+    if (config.classical_max_nodes > 0) {
+      options.max_nodes = config.classical_max_nodes;
+    }
+    solver::QuboBranchAndBound bnb(options);
+    AlgorithmSeries series;
+    series.name = "LIN-QUB";
+    QMQO_ASSIGN_OR_RETURN(
+        solver::QuboBnbResult bnb_result,
+        bnb.Solve(logical.qubo(), [&](double ms, double energy,
+                                      const std::vector<uint8_t>& x) {
+          // Report MQO cost, not QUBO energy, so series are comparable.
+          (void)energy;
+          mqo::MqoSolution solution = logical.RepairedSolution(x);
+          series.trajectory.Record(
+              ms, mqo::EvaluateCost(instance.problem, solution));
+        }));
+    (void)bnb_result;
+    run.series.push_back(std::move(series));
+  }
+
+  // --- CLIMB. ---
+  {
+    baselines::IteratedHillClimbing climb;
+    baselines::OptimizerBudget budget;
+    budget.time_limit_ms = config.classical_time_limit_ms;
+    budget.max_iterations = config.classical_max_iterations;
+    Rng rng = instance_rng.Fork(1001);
+    AlgorithmSeries series;
+    series.name = "CLIMB";
+    QMQO_ASSIGN_OR_RETURN(
+        mqo::MqoSolution ignored,
+        climb.Optimize(instance.problem, budget, &rng,
+                       [&](double ms, double cost, const mqo::MqoSolution&) {
+                         series.trajectory.Record(ms, cost);
+                       }));
+    (void)ignored;
+    run.series.push_back(std::move(series));
+  }
+
+  // --- GA(population) for each configured size. ---
+  for (int population : config.ga_populations) {
+    baselines::GeneticOptions options;
+    options.population_size = population;
+    baselines::GeneticAlgorithm ga(options);
+    baselines::OptimizerBudget budget;
+    budget.time_limit_ms = config.classical_time_limit_ms;
+    budget.max_iterations = config.classical_max_iterations;
+    Rng rng = instance_rng.Fork(2000 + static_cast<uint64_t>(population));
+    AlgorithmSeries series;
+    series.name = ga.name();
+    QMQO_ASSIGN_OR_RETURN(
+        mqo::MqoSolution ignored,
+        ga.Optimize(instance.problem, budget, &rng,
+                    [&](double ms, double cost, const mqo::MqoSolution&) {
+                      series.trajectory.Record(ms, cost);
+                    }));
+    (void)ignored;
+    run.series.push_back(std::move(series));
+  }
+
+  // Best known cost across all series.
+  double best = std::numeric_limits<double>::infinity();
+  for (const AlgorithmSeries& series : run.series) {
+    best = std::min(best, series.trajectory.FinalCost());
+  }
+  run.best_known_cost = best;
+  return outcome;
+}
+
 }  // namespace
 
 Result<ClassResult> RunExperimentClass(const ExperimentConfig& config,
                                        const chimera::ChimeraGraph& graph) {
   ClassResult result;
   result.config = config;
-  Rng master(config.seed);
+  if (config.num_instances <= 0) return result;
 
-  for (int instance_id = 0; instance_id < config.num_instances;
-       ++instance_id) {
-    Rng instance_rng = master.Fork(static_cast<uint64_t>(instance_id));
-    QMQO_ASSIGN_OR_RETURN(
-        PaperInstance instance,
-        GeneratePaperInstance(graph, config.workload, &instance_rng));
-    result.actual_num_queries = instance.num_queries;
-
-    InstanceRun run;
-    run.scale_base = ScaleBase(instance.problem);
-    run.logical_vars = instance.problem.num_plans();
-
-    // --- Quantum annealer (Algorithm 1 on the simulated device). ---
-    {
-      QuantumMqoOptions quantum = config.quantum;
-      quantum.device.seed = instance_rng.Next();
-      QMQO_ASSIGN_OR_RETURN(
-          QuantumMqoResult qa,
-          SolveQuantumMqo(instance.problem, instance.embedding, graph,
-                          quantum));
-      AlgorithmSeries series;
-      series.name = "QA";
-      series.trajectory = qa.cost_vs_device_time;
-      series.device_time_axis = true;
-      run.series.push_back(std::move(series));
-      run.qa_first_read_cost = qa.first_read_cost;
-      run.qa_final_cost = qa.best_cost;
-      run.preprocessing_ms = qa.preprocessing_ms;
-      run.qa_read_ms = (quantum.device.anneal_time_us +
-                        quantum.device.readout_time_us) /
-                       1000.0;
-      run.physical_qubits = qa.physical_qubits;
+  const int workers = std::min(util::ResolveNumThreads(config.num_threads),
+                               config.num_instances);
+  if (workers == 1) {
+    for (int instance_id = 0; instance_id < config.num_instances;
+         ++instance_id) {
+      QMQO_ASSIGN_OR_RETURN(InstanceOutcome outcome,
+                            RunInstance(config, graph, instance_id));
+      result.actual_num_queries = outcome.num_queries;
+      result.instances.push_back(std::move(outcome.run));
     }
+    return result;
+  }
 
-    // --- LIN-MQO: exact branch and bound on the native model. ---
-    {
-      solver::MqoBnbOptions options;
-      options.time_limit_ms = config.classical_time_limit_ms;
-      solver::MqoBranchAndBound bnb(options);
-      AlgorithmSeries series;
-      series.name = "LIN-MQO";
-      QMQO_ASSIGN_OR_RETURN(
-          solver::MqoBnbResult bnb_result,
-          bnb.Solve(instance.problem,
-                    [&](double ms, double cost, const mqo::MqoSolution&) {
-                      series.trajectory.Record(ms, cost);
-                    }));
-      run.series.push_back(std::move(series));
-      run.optimum_proven = bnb_result.proven_optimal;
-      run.lin_mqo_proof_ms = bnb_result.total_time_ms;
-      run.lin_mqo_proof_capped = !bnb_result.proven_optimal;
-    }
-
-    // --- LIN-QUB: exact branch and bound on the QUBO reformulation. ---
-    if (config.run_lin_qub) {
-      QMQO_ASSIGN_OR_RETURN(
-          mapping::LogicalMapping logical,
-          mapping::LogicalMapping::Create(instance.problem));
-      solver::QuboBnbOptions options;
-      options.time_limit_ms = config.classical_time_limit_ms;
-      solver::QuboBranchAndBound bnb(options);
-      AlgorithmSeries series;
-      series.name = "LIN-QUB";
-      QMQO_ASSIGN_OR_RETURN(
-          solver::QuboBnbResult bnb_result,
-          bnb.Solve(logical.qubo(), [&](double ms, double energy,
-                                        const std::vector<uint8_t>& x) {
-            // Report MQO cost, not QUBO energy, so series are comparable.
-            (void)energy;
-            mqo::MqoSolution solution = logical.RepairedSolution(x);
-            series.trajectory.Record(
-                ms, mqo::EvaluateCost(instance.problem, solution));
-          }));
-      (void)bnb_result;
-      run.series.push_back(std::move(series));
-    }
-
-    // --- CLIMB. ---
-    {
-      baselines::IteratedHillClimbing climb;
-      baselines::OptimizerBudget budget;
-      budget.time_limit_ms = config.classical_time_limit_ms;
-      Rng rng = instance_rng.Fork(1001);
-      AlgorithmSeries series;
-      series.name = "CLIMB";
-      QMQO_ASSIGN_OR_RETURN(
-          mqo::MqoSolution ignored,
-          climb.Optimize(instance.problem, budget, &rng,
-                         [&](double ms, double cost, const mqo::MqoSolution&) {
-                           series.trajectory.Record(ms, cost);
-                         }));
-      (void)ignored;
-      run.series.push_back(std::move(series));
-    }
-
-    // --- GA(population) for each configured size. ---
-    for (int population : config.ga_populations) {
-      baselines::GeneticOptions options;
-      options.population_size = population;
-      baselines::GeneticAlgorithm ga(options);
-      baselines::OptimizerBudget budget;
-      budget.time_limit_ms = config.classical_time_limit_ms;
-      Rng rng = instance_rng.Fork(2000 + static_cast<uint64_t>(population));
-      AlgorithmSeries series;
-      series.name = ga.name();
-      QMQO_ASSIGN_OR_RETURN(
-          mqo::MqoSolution ignored,
-          ga.Optimize(instance.problem, budget, &rng,
-                      [&](double ms, double cost, const mqo::MqoSolution&) {
-                        series.trajectory.Record(ms, cost);
-                      }));
-      (void)ignored;
-      run.series.push_back(std::move(series));
-    }
-
-    // Best known cost across all series.
-    double best = std::numeric_limits<double>::infinity();
-    for (const AlgorithmSeries& series : run.series) {
-      best = std::min(best, series.trajectory.FinalCost());
-    }
-    run.best_known_cost = best;
-    result.instances.push_back(std::move(run));
+  // Fan instances across the pool into per-instance slots; instance order
+  // (and therefore the assembled ClassResult) is identical to the serial
+  // loop. On error, the first failing instance wins — also matching the
+  // serial early-return, up to the later instances having been attempted.
+  util::Executor& pool = config.executor != nullptr
+                             ? *config.executor
+                             : util::Executor::Shared();
+  std::vector<Status> statuses(static_cast<size_t>(config.num_instances));
+  std::vector<InstanceOutcome> outcomes(
+      static_cast<size_t>(config.num_instances));
+  pool.ParallelFor(config.num_instances, workers,
+                   [&](int begin, int end, int /*chunk*/) {
+                     for (int id = begin; id < end; ++id) {
+                       Result<InstanceOutcome> outcome =
+                           RunInstance(config, graph, id);
+                       if (outcome.ok()) {
+                         outcomes[static_cast<size_t>(id)] =
+                             std::move(outcome).value();
+                       } else {
+                         statuses[static_cast<size_t>(id)] = outcome.status();
+                       }
+                     }
+                   });
+  for (const Status& status : statuses) {
+    QMQO_RETURN_IF_ERROR(status);
+  }
+  for (InstanceOutcome& outcome : outcomes) {
+    result.actual_num_queries = outcome.num_queries;
+    result.instances.push_back(std::move(outcome.run));
   }
   return result;
 }

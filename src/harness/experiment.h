@@ -8,6 +8,7 @@
 /// per class (number of queries x plans per query) into the data behind
 /// Figures 4-6 and Table 1.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@
 #include "util/status.h"
 
 namespace qmqo {
+namespace util {
+class Executor;
+}  // namespace util
+
 namespace harness {
 
 /// Configuration of one experiment class.
@@ -28,6 +33,13 @@ struct ExperimentConfig {
   /// Wall-clock budget per classical algorithm per instance, ms
   /// (paper: 1e5; scaled down by default so bench suites finish quickly).
   double classical_time_limit_ms = 1000.0;
+  /// Deterministic caps, 0 = off. When set, the anytime baselines stop
+  /// after this many restarts/generations and the exact solvers after this
+  /// many search nodes (instead of — in practice, before — the wall-clock
+  /// budget), which makes every recorded cost machine-independent; the
+  /// thread-count determinism tests rely on this.
+  int64_t classical_max_iterations = 0;
+  int64_t classical_max_nodes = 0;
   /// GA population sizes to run (paper: 50 and 200).
   std::vector<int> ga_populations = {50, 200};
   /// Run the (slow) exact solver on the QUBO reformulation.
@@ -35,6 +47,17 @@ struct ExperimentConfig {
   /// Quantum pipeline configuration.
   QuantumMqoOptions quantum;
   uint64_t seed = 42;
+  /// Worker threads for the instance fan-out: 1 = serial (default),
+  /// 0 = hardware concurrency. Instances are independent — each forks its
+  /// own RNG stream from `seed` (the same discipline as the read engine) —
+  /// so every seed-derived quantity in `ClassResult` is bit-identical to
+  /// the serial run at any thread count; under the deterministic caps
+  /// above (which remove the wall-clock dependence of the classical
+  /// baselines) the whole result is.
+  int num_threads = 1;
+  /// Worker pool for the fan-out; null = the process-wide
+  /// `util::Executor::Shared()` pool. Never owned.
+  util::Executor* executor = nullptr;
 };
 
 /// Trajectories of one algorithm on one instance.

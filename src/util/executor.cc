@@ -1,0 +1,160 @@
+#include "util/executor.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace qmqo {
+namespace util {
+namespace {
+
+std::atomic<int64_t> g_workers_spawned{0};
+
+}  // namespace
+
+int ResolveNumThreads(int requested) {
+  if (requested >= 1) return requested;
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+/// One `ParallelFor` call: a statically chunked index range whose chunks
+/// are claimed via an atomic cursor. A batch sits in the executor's queue
+/// while unclaimed chunks remain; claiming is separate from completion so
+/// the submitter can tell "everything claimed" (stop helping) from
+/// "everything finished" (safe to return).
+struct Executor::Batch {
+  int total = 0;
+  int parts = 0;
+  int base = 0;
+  int remainder = 0;
+  const RangeBody* body = nullptr;
+
+  std::atomic<int> next_chunk{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  int remaining = 0;              // guarded by mutex
+  std::exception_ptr error;       // guarded by mutex; first error wins
+
+  /// Claims and runs one chunk; false when all chunks are claimed.
+  bool RunOneChunk() {
+    int chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= parts) return false;
+    const int begin = chunk * base + std::min(chunk, remainder);
+    const int end = begin + base + (chunk < remainder ? 1 : 0);
+    std::exception_ptr caught;
+    try {
+      (*body)(begin, end, chunk);
+    } catch (...) {
+      caught = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (caught && !error) error = caught;
+      if (--remaining == 0) done.notify_all();
+    }
+    return true;
+  }
+
+  bool AllClaimed() const {
+    return next_chunk.load(std::memory_order_relaxed) >= parts;
+  }
+};
+
+Executor::Executor(int num_threads) {
+  const int workers = ResolveNumThreads(num_threads);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+    g_workers_spawned.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int64_t Executor::TotalWorkersSpawned() {
+  return g_workers_spawned.load(std::memory_order_relaxed);
+}
+
+Executor& Executor::Shared() {
+  static Executor shared(0);
+  return shared;
+}
+
+void Executor::Run(Executor* executor, int total, int parallelism,
+                   const RangeBody& body) {
+  if (total <= 0) return;
+  if (std::min(ResolveNumThreads(parallelism), total) <= 1) {
+    body(0, total, 0);
+    return;
+  }
+  (executor != nullptr ? *executor : Shared())
+      .ParallelFor(total, parallelism, body);
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to help
+      batch = queue_.front();
+      if (batch->AllClaimed()) {
+        // Fully claimed batches are done or finishing on other threads;
+        // retire the queue entry and look again.
+        queue_.pop_front();
+        continue;
+      }
+    }
+    batch->RunOneChunk();
+  }
+}
+
+void Executor::ParallelFor(int total, int parallelism, const RangeBody& body) {
+  if (total <= 0) return;
+  const int parts = std::min(ResolveNumThreads(parallelism), total);
+  if (parts <= 1) {
+    body(0, total, 0);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->total = total;
+  batch->parts = parts;
+  batch->base = total / parts;
+  batch->remainder = total % parts;
+  batch->body = &body;
+  batch->remaining = parts;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(batch);
+  }
+  wake_.notify_all();
+  // Help drain our own chunks; this is what makes nested calls from worker
+  // threads deadlock-free (see the header).
+  while (batch->RunOneChunk()) {
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done.wait(lock, [&]() { return batch->remaining == 0; });
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void Executor::ParallelFor(int total, const std::function<void(int)>& body) {
+  ParallelFor(total, num_threads(),
+              [&body](int begin, int end, int /*chunk*/) {
+                for (int i = begin; i < end; ++i) body(i);
+              });
+}
+
+}  // namespace util
+}  // namespace qmqo

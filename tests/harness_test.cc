@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "harness/ascii_plot.h"
+#include "util/executor.h"
 #include "harness/experiment.h"
 #include "harness/paper_workload.h"
 #include "harness/trajectory.h"
@@ -231,6 +233,104 @@ TEST(ExperimentTest, QubitsPerVariableAverages) {
   b.logical_vars = 150;
   result.instances = {a, b};
   EXPECT_DOUBLE_EQ(QubitsPerVariable(result), 1.5);
+}
+
+// Compares the machine-independent content of two class results exactly
+// (bit-identical doubles). Wall-clock fields (preprocessing_ms,
+// lin_mqo_proof_ms, classical trajectory timestamps) are excluded — they
+// differ even between two serial runs. Everything else, including the QA
+// trajectory's modeled-device-time axis and every recorded cost of every
+// series, must match bit for bit.
+void ExpectClassResultsIdentical(const ClassResult& a, const ClassResult& b) {
+  EXPECT_EQ(a.actual_num_queries, b.actual_num_queries);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (size_t i = 0; i < a.instances.size(); ++i) {
+    const InstanceRun& run_a = a.instances[i];
+    const InstanceRun& run_b = b.instances[i];
+    EXPECT_EQ(run_a.qa_first_read_cost, run_b.qa_first_read_cost);
+    EXPECT_EQ(run_a.qa_final_cost, run_b.qa_final_cost);
+    EXPECT_EQ(run_a.best_known_cost, run_b.best_known_cost);
+    EXPECT_EQ(run_a.optimum_proven, run_b.optimum_proven);
+    EXPECT_EQ(run_a.scale_base, run_b.scale_base);
+    EXPECT_EQ(run_a.qa_read_ms, run_b.qa_read_ms);
+    EXPECT_EQ(run_a.physical_qubits, run_b.physical_qubits);
+    EXPECT_EQ(run_a.logical_vars, run_b.logical_vars);
+    ASSERT_EQ(run_a.series.size(), run_b.series.size());
+    for (size_t s = 0; s < run_a.series.size(); ++s) {
+      const AlgorithmSeries& series_a = run_a.series[s];
+      const AlgorithmSeries& series_b = run_b.series[s];
+      EXPECT_EQ(series_a.name, series_b.name);
+      EXPECT_EQ(series_a.device_time_axis, series_b.device_time_axis);
+      ASSERT_EQ(series_a.trajectory.points().size(),
+                series_b.trajectory.points().size())
+          << series_a.name;
+      for (size_t p = 0; p < series_a.trajectory.points().size(); ++p) {
+        EXPECT_EQ(series_a.trajectory.points()[p].cost,
+                  series_b.trajectory.points()[p].cost)
+            << series_a.name;
+        if (series_a.device_time_axis) {
+          // Modeled device time, not wall clock: exactly reproducible.
+          EXPECT_EQ(series_a.trajectory.points()[p].time_ms,
+                    series_b.trajectory.points()[p].time_ms);
+        }
+      }
+    }
+  }
+}
+
+TEST(ExperimentTest, ClassResultBitIdenticalAtAnyThreadCount) {
+  chimera::ChimeraGraph graph(3, 3, 4);
+  ExperimentConfig config;
+  config.workload.plans_per_query = 2;
+  config.workload.num_queries = 8;
+  config.num_instances = 5;
+  // Deterministic caps instead of wall-clock budgets: baselines stop after
+  // a fixed iteration count and the exact solvers after a fixed node
+  // count, so recorded costs do not depend on machine speed or scheduling.
+  config.classical_time_limit_ms = 1e9;
+  config.classical_max_iterations = 25;
+  config.classical_max_nodes = 200000;
+  config.ga_populations = {10};
+  config.quantum.device.num_reads = 40;
+  config.quantum.device.num_gauges = 4;
+  config.quantum.device.sa_sweeps = 16;
+  // Nested parallelism on the shared pool: reads inside each instance.
+  config.quantum.device.num_threads = 2;
+
+  config.num_threads = 1;
+  auto serial = RunExperimentClass(config, graph);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 4}) {
+    config.num_threads = threads;
+    auto parallel = RunExperimentClass(config, graph);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectClassResultsIdentical(*serial, *parallel);
+  }
+}
+
+TEST(ExperimentTest, InstanceFanOutSpawnsNoThreadsPerClass) {
+  chimera::ChimeraGraph graph(3, 3, 4);
+  ExperimentConfig config;
+  config.workload.plans_per_query = 2;
+  config.workload.num_queries = 6;
+  config.num_instances = 3;
+  config.classical_time_limit_ms = 1e9;
+  config.classical_max_iterations = 5;
+  config.classical_max_nodes = 50000;
+  config.ga_populations = {10};
+  config.quantum.device.num_reads = 20;
+  config.quantum.device.num_gauges = 2;
+  config.quantum.device.sa_sweeps = 8;
+  config.num_threads = 2;
+  util::Executor executor(2);
+  config.executor = &executor;
+  auto first = RunExperimentClass(config, graph);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const int64_t spawned = util::Executor::TotalWorkersSpawned();
+  auto second = RunExperimentClass(config, graph);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(util::Executor::TotalWorkersSpawned(), spawned);
+  ExpectClassResultsIdentical(*first, *second);
 }
 
 TEST(ExperimentTest, EndToEndTinyClass) {

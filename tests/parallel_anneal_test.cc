@@ -81,6 +81,33 @@ TEST(RunReadsTest, WorkerExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(RunReadsTest, CallerSuppliedExecutorIsReusedNotRespawned) {
+  util::Executor executor(2);
+  const int64_t spawned = util::Executor::TotalWorkersSpawned();
+  for (int round = 0; round < 5; ++round) {
+    SampleSet set = RunReads(
+        11, 4,
+        [](int read, SampleSet* local) {
+          local->Add({static_cast<uint8_t>(read)}, static_cast<double>(read));
+        },
+        &executor);
+    EXPECT_EQ(set.total_reads(), 11);
+  }
+  EXPECT_EQ(util::Executor::TotalWorkersSpawned(), spawned);
+}
+
+TEST(RunReadsTest, SharedPoolFallbackSpawnsNothingPerCall) {
+  util::Executor::Shared();  // force the one-time lazy construction
+  const int64_t spawned = util::Executor::TotalWorkersSpawned();
+  for (int round = 0; round < 3; ++round) {
+    SampleSet set = RunReads(7, 3, [](int read, SampleSet* local) {
+      local->Add({static_cast<uint8_t>(read)}, 0.0);
+    });
+    EXPECT_EQ(set.total_reads(), 7);
+  }
+  EXPECT_EQ(util::Executor::TotalWorkersSpawned(), spawned);
+}
+
 TEST(ParallelDeterminismTest, SimulatedAnnealerMatchesSerial) {
   Rng rng(42);
   qubo::QuboProblem problem = RandomQubo(24, 0.3, &rng);
@@ -155,6 +182,53 @@ TEST(ParallelDeterminismTest, DeviceSimulatorSqaBackendMatchesSerial) {
     ASSERT_TRUE(parallel.ok());
     ExpectIdentical(serial->samples, parallel->samples);
   }
+}
+
+TEST(ParallelDeterminismTest, DeviceCallSpawnsZeroThreadsPerGauge) {
+  // The acceptance criterion of the executor subsystem: a multi-gauge,
+  // multi-threaded device call enqueues every gauge's reads on one
+  // reusable pool — the worker-spawn counter must not move across calls.
+  Rng rng(46);
+  qubo::QuboProblem problem = RandomQubo(14, 0.4, &rng);
+  util::Executor executor(2);
+  DWaveOptions options;
+  options.num_reads = 24;
+  options.num_gauges = 6;  // six programming cycles per Sample call
+  options.sa_sweeps = 16;
+  options.seed = 3;
+  options.num_threads = 2;
+  options.executor = &executor;
+  auto first = DWaveSimulator(options).Sample(problem);
+  ASSERT_TRUE(first.ok());
+  const int64_t spawned = util::Executor::TotalWorkersSpawned();
+  auto second = DWaveSimulator(options).Sample(problem);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(util::Executor::TotalWorkersSpawned(), spawned);
+  ExpectIdentical(first->samples, second->samples);
+
+  // Same with the SQA backend sharing the same pool.
+  options.backend = DeviceBackend::kSimulatedQuantumAnnealing;
+  options.sqa.num_slices = 4;
+  options.sqa.sweeps = 16;
+  auto sqa_result = DWaveSimulator(options).Sample(problem);
+  ASSERT_TRUE(sqa_result.ok());
+  EXPECT_EQ(util::Executor::TotalWorkersSpawned(), spawned);
+}
+
+TEST(ParallelDeterminismTest, ExplicitExecutorMatchesSharedPoolResults) {
+  Rng rng(47);
+  qubo::QuboProblem problem = RandomQubo(18, 0.3, &rng);
+  SaOptions options;
+  options.num_reads = 21;
+  options.sweeps_per_read = 32;
+  options.seed = 13;
+  options.num_threads = 1;
+  SampleSet serial = SimulatedAnnealer(options).Sample(problem);
+  util::Executor executor(3);
+  options.num_threads = 4;
+  options.executor = &executor;
+  SampleSet pooled = SimulatedAnnealer(options).Sample(problem);
+  ExpectIdentical(serial, pooled);
 }
 
 TEST(SampleSetOpsTest, AddEnergyOffsetShiftsInPlace) {
