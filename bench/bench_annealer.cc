@@ -5,9 +5,12 @@
 //
 // For each engine the serial path (1 thread) is compared against parallel
 // read fan-out; the benchmark *fails* (exit 1) unless the parallel sample
-// sets are bit-identical to serial. Results go to BENCH_annealer.json
-// (sweeps*spins/sec, wall time, thread count) so the perf trajectory is
-// machine-trackable across PRs.
+// sets are bit-identical to serial. The SA engine runs once per sweep
+// kernel (scalar / checkerboard / checkerboard_fast — one row group each);
+// the SQA and device engines follow QMQO_BENCH_KERNEL. Results go to
+// BENCH_annealer.json (sweeps*spins/sec, wall time, thread count, kernel,
+// serial kernel speedups) so the perf trajectory is machine-trackable
+// across PRs.
 
 #include <cmath>
 #include <cstdint>
@@ -123,9 +126,10 @@ struct RunResult {
 /// One benchmark block: runs `run(threads)` for each thread count, checks
 /// the parallel results against the 1-thread baseline, records rows.
 template <typename Runner>
-bool BenchEngine(const std::string& engine, const std::vector<int>& threads,
-                 double sweep_spins_per_run, bench::JsonArray* rows,
-                 const Runner& run, RunResult* serial_out = nullptr) {
+bool BenchEngine(const std::string& engine, const std::string& kernel,
+                 const std::vector<int>& threads, double sweep_spins_per_run,
+                 bench::JsonArray* rows, const Runner& run,
+                 RunResult* serial_out = nullptr) {
   bool all_identical = true;
   RunResult serial;
   for (int t : threads) {
@@ -140,6 +144,7 @@ bool BenchEngine(const std::string& engine, const std::vector<int>& threads,
     double throughput = sweep_spins_per_run / (result.wall_ms / 1000.0);
     bench::JsonObject row;
     row.Add("engine", engine)
+        .Add("kernel", kernel)
         .Add("threads", t)
         .Add("wall_ms", result.wall_ms)
         .Add("sweep_spins_per_sec", throughput)
@@ -147,7 +152,7 @@ bool BenchEngine(const std::string& engine, const std::vector<int>& threads,
         .Add("identical_to_serial", identical);
     rows->Add(row);
     std::printf(
-        "%-8s threads=%2d  wall=%9.1f ms  sweeps*spins/s=%.3e  best=%.4f%s\n",
+        "%-20s threads=%2d  wall=%9.1f ms  sweeps*spins/s=%.3e  best=%.4f%s\n",
         engine.c_str(), t, result.wall_ms, throughput,
         result.samples.best().energy, identical ? "" : "  MISMATCH");
   }
@@ -179,7 +184,11 @@ int main() {
   const int64_t workers_spawned_baseline =
       qmqo::util::Executor::TotalWorkersSpawned();
 
-  // --- SA: the acceptance-criteria engine. ---
+  // --- SA: the acceptance-criteria engine, once per sweep kernel. The
+  // scalar rows keep the engine name "sa" (the frozen baseline key); the
+  // checkerboard kernels get their own rows so diff_bench.py can hold
+  // kCheckerboard to at least kScalar throughput and track the
+  // kCheckerboardFast speedup. ---
   anneal::SaOptions sa;
   sa.num_reads = full ? 256 : 48;
   sa.sweeps_per_read = 256;
@@ -187,20 +196,40 @@ int main() {
   sa.executor = &pool;
   const double sa_sweep_spins =
       static_cast<double>(sa.num_reads) * sa.sweeps_per_read * n;
+  auto run_sa = [&](anneal::SweepKernel kernel, int t) {
+    anneal::SaOptions options = sa;
+    options.num_threads = t;
+    options.sweep_kernel = kernel;
+    Stopwatch clock;
+    RunResult result;
+    result.samples = anneal::SimulatedAnnealer(options).SampleIsing(glass);
+    result.wall_ms = clock.ElapsedMillis();
+    return result;
+  };
   RunResult sa_serial;
-  all_identical &= BenchEngine("sa", threads, sa_sweep_spins, &rows,
-                               [&](int t) {
-                                 anneal::SaOptions options = sa;
-                                 options.num_threads = t;
-                                 Stopwatch clock;
-                                 RunResult result;
-                                 result.samples =
-                                     anneal::SimulatedAnnealer(options)
-                                         .SampleIsing(glass);
-                                 result.wall_ms = clock.ElapsedMillis();
-                                 return result;
-                               },
-                               &sa_serial);
+  all_identical &= BenchEngine(
+      "sa", "scalar", threads, sa_sweep_spins, &rows,
+      [&](int t) { return run_sa(anneal::SweepKernel::kScalar, t); },
+      &sa_serial);
+  RunResult sa_checkerboard_serial;
+  all_identical &= BenchEngine(
+      "sa_checkerboard", "checkerboard", threads, sa_sweep_spins, &rows,
+      [&](int t) { return run_sa(anneal::SweepKernel::kCheckerboard, t); },
+      &sa_checkerboard_serial);
+  RunResult sa_fast_serial;
+  all_identical &= BenchEngine(
+      "sa_checkerboard_fast", "checkerboard_fast", threads, sa_sweep_spins,
+      &rows,
+      [&](int t) { return run_sa(anneal::SweepKernel::kCheckerboardFast, t); },
+      &sa_fast_serial);
+  const double checkerboard_speedup =
+      sa_serial.wall_ms / sa_checkerboard_serial.wall_ms;
+  const double checkerboard_fast_speedup =
+      sa_serial.wall_ms / sa_fast_serial.wall_ms;
+  std::printf(
+      "serial kernel speedup vs scalar: checkerboard %.2fx, "
+      "checkerboard_fast %.2fx\n",
+      checkerboard_speedup, checkerboard_fast_speedup);
 
   // --- Seed reference path: pair-vector adjacency, serial reads. Must be
   // bit-identical to the CSR kernel; the wall-time ratio is the layout
@@ -216,6 +245,7 @@ int main() {
     double throughput = sa_sweep_spins / (wall_ms / 1000.0);
     bench::JsonObject row;
     row.Add("engine", "sa_legacy")
+        .Add("kernel", "scalar")
         .Add("threads", 1)
         .Add("wall_ms", wall_ms)
         .Add("sweep_spins_per_sec", throughput)
@@ -223,23 +253,31 @@ int main() {
         .Add("identical_to_serial", identical);
     rows.Add(row);
     std::printf(
-        "%-8s threads= 1  wall=%9.1f ms  sweeps*spins/s=%.3e  best=%.4f%s\n",
+        "%-20s threads= 1  wall=%9.1f ms  sweeps*spins/s=%.3e  best=%.4f%s\n",
         "legacy", wall_ms, throughput, legacy.best().energy,
         identical ? "" : "  MISMATCH");
     std::printf("CSR serial speedup over seed pair-vector path: %.2fx\n",
                 legacy_speedup);
   }
 
-  // --- SQA: P coupled replicas, so a "sweep" touches P * n spins. ---
+  // --- SQA: P coupled replicas, so a "sweep" touches P * n spins. The
+  // sweep kernel follows QMQO_BENCH_KERNEL (default scalar), keyed into
+  // the engine name so the frozen "sqa" baseline row stays scalar. ---
+  const anneal::SweepKernel bench_kernel = bench::BenchKernel();
+  const std::string kernel_name = anneal::SweepKernelName(bench_kernel);
+  const std::string kernel_suffix =
+      bench_kernel == anneal::SweepKernel::kScalar ? "" : "_" + kernel_name;
   anneal::SqaOptions sqa;
   sqa.num_reads = full ? 16 : 4;
   sqa.num_slices = 8;
   sqa.sweeps = 32;
   sqa.seed = 7;
   sqa.executor = &pool;
+  sqa.sweep_kernel = bench_kernel;
   const double sqa_sweep_spins = static_cast<double>(sqa.num_reads) *
                                  sqa.sweeps * sqa.num_slices * n;
-  all_identical &= BenchEngine("sqa", threads, sqa_sweep_spins, &rows,
+  all_identical &= BenchEngine("sqa" + kernel_suffix, kernel_name, threads,
+                               sqa_sweep_spins, &rows,
                                [&](int t) {
                                  anneal::SqaOptions options = sqa;
                                  options.num_threads = t;
@@ -252,7 +290,8 @@ int main() {
                                  return result;
                                });
 
-  // --- Full device call (gauges + control error + SA backend). ---
+  // --- Full device call (gauges + control error + SA backend), on the
+  // QMQO_BENCH_KERNEL-selected kernel like SQA above. ---
   qubo::QuboWithOffset as_qubo = qubo::IsingToQubo(glass);
   anneal::DWaveOptions device;
   device.num_reads = full ? 200 : 50;
@@ -260,10 +299,12 @@ int main() {
   device.sa_sweeps = 256;
   device.seed = 7;
   device.executor = &pool;
+  device.sweep_kernel = bench_kernel;
   const double device_sweep_spins =
       static_cast<double>(device.num_reads) * device.sa_sweeps * n;
   all_identical &= BenchEngine(
-      "device", threads, device_sweep_spins, &rows, [&](int t) {
+      "device" + kernel_suffix, kernel_name, threads, device_sweep_spins,
+      &rows, [&](int t) {
         anneal::DWaveOptions options = device;
         options.num_threads = t;
         Stopwatch clock;
@@ -296,6 +337,9 @@ int main() {
       .Add("full_scale", full)
       .Add("all_identical_to_serial", all_identical)
       .Add("csr_serial_speedup_vs_legacy", legacy_speedup)
+      .Add("bench_kernel", kernel_name)
+      .Add("checkerboard_speedup_vs_scalar", checkerboard_speedup)
+      .Add("checkerboard_fast_speedup_vs_scalar", checkerboard_fast_speedup)
       .Add("executor_pool_size", pool.num_threads())
       .Add("workers_spawned_during_runs",
            static_cast<int64_t>(workers_spawned_during_runs))

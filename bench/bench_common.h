@@ -45,6 +45,19 @@ inline int BenchThreads() {
   return threads >= 0 ? threads : 1;
 }
 
+/// Sweep kernel for the annealing engines, from QMQO_BENCH_KERNEL:
+/// "scalar" (default, the bit-exact reference), "checkerboard", or
+/// "checkerboard_fast" (see anneal/sweep_kernel.h for the contracts).
+/// Unrecognized values fall back to scalar.
+inline anneal::SweepKernel BenchKernel() {
+  const char* env = std::getenv("QMQO_BENCH_KERNEL");
+  anneal::SweepKernel kernel = anneal::SweepKernel::kScalar;
+  if (env != nullptr && *env != '\0') {
+    anneal::ParseSweepKernel(env, &kernel);
+  }
+  return kernel;
+}
+
 // ----------------------------------------------------------------------
 // Machine-readable bench artifacts (BENCH_<name>.json).
 //
@@ -186,6 +199,9 @@ inline harness::ExperimentConfig MakeClassConfig(const PaperClass& cls,
   // Instances fan out across the shared worker pool; QMQO_BENCH_THREADS=0
   // uses every core (see BenchThreads() for what stays deterministic).
   config.num_threads = BenchThreads();
+  // QMQO_BENCH_KERNEL selects the device model's Metropolis sweep kernel
+  // for the whole experiment class (default: the bit-exact scalar path).
+  config.quantum.device.sweep_kernel = BenchKernel();
   return config;
 }
 

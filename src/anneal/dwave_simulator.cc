@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "anneal/gauge.h"
 #include "anneal/parallel.h"
@@ -70,6 +71,7 @@ Result<DeviceResult> DWaveSimulator::Sample(
       ScaleFactor(converted.ising, options_.h_range, options_.j_range);
 
   DeviceResult result;
+  result.samples.set_max_samples(options_.max_samples);
   Rng rng(options_.seed);
   // One pool for every gauge (and the SQA backend): RunReads maps a null
   // executor to the shared singleton, so no gauge ever spawns threads.
@@ -98,6 +100,13 @@ Result<DeviceResult> DWaveSimulator::Sample(
       beta.start = hot;
       beta.end = cold;
       programmed.Finalize();  // shared read-only across worker threads
+      // The checkerboard kernels share one per-programming coloring across
+      // the gauge's reads; the scalar kernel skips it.
+      std::optional<SweepPlan> plan;
+      if (options_.sweep_kernel != SweepKernel::kScalar) {
+        plan.emplace(programmed);
+      }
+      const SweepPlan* plan_ptr = plan ? &*plan : nullptr;
       // Per-read slots keep `raw_reads` chronological regardless of which
       // worker executes a read.
       std::vector<std::vector<uint8_t>> gauge_raw(
@@ -108,11 +117,9 @@ Result<DeviceResult> DWaveSimulator::Sample(
             Rng read_rng = gauge_rng.Fork(static_cast<uint64_t>(read));
             std::vector<int8_t> spins(
                 static_cast<size_t>(programmed.num_spins()));
-            for (auto& s : spins) {
-              s = read_rng.Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
-            }
-            AnnealIsingOnce(programmed, beta, options_.sa_sweeps, &read_rng,
-                            &spins);
+            InitSpins(options_.sweep_kernel, &read_rng, &spins);
+            RunSweeps(programmed, plan_ptr, beta, options_.sa_sweeps,
+                      options_.sweep_kernel, &read_rng, &spins);
             std::vector<uint8_t> assignment =
                 qubo::SpinsToAssignment(gauge.RestoreSpins(spins));
             // True energy on the customer's problem, not the noisy one.
@@ -122,7 +129,7 @@ Result<DeviceResult> DWaveSimulator::Sample(
             }
             local->Add(std::move(assignment), energy);
           },
-          executor);
+          executor, options_.max_samples);
       result.samples.Append(std::move(gauge_samples));
       for (std::vector<uint8_t>& raw : gauge_raw) {
         result.raw_reads.push_back(std::move(raw));
@@ -133,6 +140,8 @@ Result<DeviceResult> DWaveSimulator::Sample(
       sqa_options.seed = gauge_rng.Next();
       sqa_options.num_threads = options_.num_threads;
       sqa_options.executor = executor;
+      sqa_options.sweep_kernel = options_.sweep_kernel;
+      sqa_options.max_samples = options_.max_samples;
       SimulatedQuantumAnnealer sqa(sqa_options);
       SampleSet gauge_samples = sqa.SampleIsing(programmed);
       for (const anneal::Sample& sample : gauge_samples.samples()) {

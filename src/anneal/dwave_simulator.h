@@ -81,6 +81,15 @@ struct DWaveOptions {
   /// Either way the pool is created once and reused — a device call spawns
   /// zero threads per gauge. Never owned.
   util::Executor* executor = nullptr;
+  /// Metropolis sweep kernel for both backends (see anneal/sweep_kernel.h):
+  /// `kScalar` (default) keeps the frozen bit-exact streams; the
+  /// checkerboard kernels trade them for throughput. Gauge transforms,
+  /// control-error noise, and read forking are kernel-independent.
+  SweepKernel sweep_kernel = SweepKernel::kScalar;
+  /// Streaming top-k retention for `DeviceResult::samples` (0 = unlimited),
+  /// applied per gauge and to the final union; `raw_reads` is unaffected.
+  /// See SaOptions::max_samples.
+  int max_samples = 0;
 };
 
 /// Result of one device call.

@@ -9,8 +9,9 @@ namespace anneal {
 
 SampleSet RunReads(int num_reads, int num_threads,
                    const std::function<void(int, SampleSet*)>& run_read,
-                   util::Executor* executor) {
+                   util::Executor* executor, int max_samples) {
   SampleSet out;
+  out.set_max_samples(max_samples);
   if (num_reads <= 0) {
     out.Finalize();
     return out;
@@ -31,6 +32,7 @@ SampleSet RunReads(int num_reads, int num_threads,
   util::Executor& pool =
       executor != nullptr ? *executor : util::Executor::Shared();
   std::vector<SampleSet> locals(static_cast<size_t>(workers));
+  for (SampleSet& local : locals) local.set_max_samples(max_samples);
   pool.ParallelFor(num_reads, workers,
                    [&](int begin, int end, int chunk) {
                      SampleSet* local = &locals[static_cast<size_t>(chunk)];

@@ -39,10 +39,14 @@ using util::ResolveNumThreads;
 /// state; exceptions thrown by a worker are rethrown on the calling thread.
 /// `num_threads == 1` runs inline without touching any pool. `executor` is
 /// the pool to run on; null means the process-wide shared pool. No threads
-/// are ever spawned by this call itself.
+/// are ever spawned by this call itself. A positive `max_samples` applies
+/// streaming top-k retention (see SampleSet::set_max_samples) to the
+/// chunk-local sets and the returned union — the retained top-k stays
+/// exact and bit-identical at any thread count, because an overall-top-k
+/// assignment ranks in the top-k of every chunk it appears in.
 SampleSet RunReads(int num_reads, int num_threads,
                    const std::function<void(int, SampleSet*)>& run_read,
-                   util::Executor* executor = nullptr);
+                   util::Executor* executor = nullptr, int max_samples = 0);
 
 }  // namespace anneal
 }  // namespace qmqo

@@ -14,6 +14,15 @@ void SampleSet::Add(std::vector<uint8_t> assignment, double energy) {
   samples_.push_back(std::move(sample));
   total_reads_ += 1;
   finalized_ = false;
+  MaybeCompact();
+}
+
+void SampleSet::MaybeCompact() {
+  if (max_samples_ <= 0) return;
+  if (static_cast<int>(samples_.size()) < 2 * max_samples_ + 64) return;
+  // Finalize sorts, dedups, and truncates to the cap; total_reads_ keeps
+  // counting dropped reads. Subsequent Adds clear finalized_ again.
+  Finalize();
 }
 
 void SampleSet::Finalize() {
@@ -32,6 +41,10 @@ void SampleSet::Finalize() {
     }
   }
   samples_ = std::move(merged);
+  if (max_samples_ > 0 &&
+      static_cast<int>(samples_.size()) > max_samples_) {
+    samples_.resize(static_cast<size_t>(max_samples_));
+  }
   finalized_ = true;
 }
 
@@ -67,6 +80,10 @@ void SampleSet::Merge(const SampleSet& other) {
   while (a < samples_.size()) emit(std::move(samples_[a++]));
   while (b < other.samples_.size()) emit(other.samples_[b++]);
   samples_ = std::move(merged);
+  if (max_samples_ > 0 &&
+      static_cast<int>(samples_.size()) > max_samples_) {
+    samples_.resize(static_cast<size_t>(max_samples_));
+  }
   total_reads_ += other.total_reads_;
 }
 
@@ -75,6 +92,7 @@ void SampleSet::Append(const SampleSet& other) {
                   other.samples_.end());
   total_reads_ += other.total_reads_;
   finalized_ = false;
+  MaybeCompact();
 }
 
 void SampleSet::Append(SampleSet&& other) {
@@ -85,6 +103,7 @@ void SampleSet::Append(SampleSet&& other) {
   finalized_ = false;
   other.samples_.clear();
   other.total_reads_ = 0;
+  MaybeCompact();
 }
 
 void SampleSet::AddEnergyOffset(double offset) {

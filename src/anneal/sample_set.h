@@ -24,6 +24,22 @@ class SampleSet {
  public:
   SampleSet() = default;
 
+  /// Streaming top-k retention: with a positive cap, the set keeps only the
+  /// best `max_samples` *distinct* assignments (by energy, then assignment)
+  /// and compacts periodically during `Add`/`Append`/`Merge`, bounding
+  /// memory at ~2k assignments regardless of the read count. The retained
+  /// top-k is exact — membership, energies, and occurrence counts all match
+  /// the uncapped set truncated after `Finalize` — because an assignment in
+  /// the overall top-k ranks in the top-k of every subset it appears in, so
+  /// it survives every intermediate compaction (including the chunk-local
+  /// sets of the parallel read engine, keeping capped results bit-identical
+  /// at any thread count). `total_reads` still counts every read, including
+  /// those whose assignments were dropped. 0 = unlimited (the default).
+  void set_max_samples(int max_samples) {
+    max_samples_ = max_samples > 0 ? max_samples : 0;
+  }
+  int max_samples() const { return max_samples_; }
+
   /// Records one read. Not deduplicated until `Finalize`.
   void Add(std::vector<uint8_t> assignment, double energy);
 
@@ -59,8 +75,13 @@ class SampleSet {
   void AddEnergyOffset(double offset);
 
  private:
+  /// Sort + dedup + truncate once the buffer outgrows twice the cap
+  /// (amortized O(log) per add); no-op without a cap.
+  void MaybeCompact();
+
   std::vector<Sample> samples_;
   int total_reads_ = 0;
+  int max_samples_ = 0;
   bool finalized_ = false;
 };
 

@@ -2,19 +2,13 @@
 
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "anneal/parallel.h"
 
 namespace qmqo {
 namespace anneal {
 namespace {
-
-/// Fills `spins` with uniform random ±1.
-void RandomSpins(Rng* rng, std::vector<int8_t>* spins) {
-  for (auto& s : *spins) {
-    s = rng->Bernoulli(0.5) ? int8_t{1} : int8_t{-1};
-  }
-}
 
 Schedule ResolveBeta(const qubo::IsingProblem& ising, const Schedule& beta) {
   if (beta.start > 0.0 && beta.end > 0.0) return beta;
@@ -27,61 +21,28 @@ Schedule ResolveBeta(const qubo::IsingProblem& ising, const Schedule& beta) {
 
 }  // namespace
 
-void AnnealIsingOnce(const qubo::IsingProblem& ising, const Schedule& beta,
-                     int sweeps, Rng* rng, std::vector<int8_t>* spins) {
-  const int n = ising.num_spins();
-  assert(static_cast<int>(spins->size()) == n);
-  const qubo::CsrGraph& csr = ising.csr();
-  const int32_t* offsets = csr.row_offsets.data();
-  const qubo::VarId* ids = csr.neighbor_ids.data();
-  const double* weights = csr.weights.data();
-  const double* h = ising.fields().data();
-  int8_t* s = spins->data();
-
-  // Local fields: field[i] = h_i + sum_j J_ij s_j; flipping spin i changes
-  // the energy by -2 s_i field[i] ... note the sign convention below.
-  std::vector<double> field(static_cast<size_t>(n));
-  for (qubo::VarId i = 0; i < n; ++i) {
-    double f = h[i];
-    for (int32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
-      f += weights[e] * static_cast<double>(s[ids[e]]);
-    }
-    field[static_cast<size_t>(i)] = f;
-  }
-  for (int sweep = 0; sweep < sweeps; ++sweep) {
-    double b = beta.At(sweep, sweeps);
-    for (qubo::VarId i = 0; i < n; ++i) {
-      double s_i = static_cast<double>(s[i]);
-      // field[i] has no self term, so the flip delta is exact.
-      double delta = -2.0 * s_i * field[static_cast<size_t>(i)];
-      if (delta <= 0.0 ||
-          rng->UniformReal(0.0, 1.0) < std::exp(-b * delta)) {
-        s[i] = static_cast<int8_t>(-s_i);
-        double change = -2.0 * s_i;
-        for (int32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
-          field[static_cast<size_t>(ids[e])] += weights[e] * change;
-        }
-      }
-    }
-  }
-}
-
 SampleSet SimulatedAnnealer::SampleIsing(const qubo::IsingProblem& ising) const {
   Schedule beta = ResolveBeta(ising, options_.beta);
   ising.Finalize();  // shared across worker threads
   Rng rng(options_.seed);
   const size_t n = static_cast<size_t>(ising.num_spins());
+  // The color classes are a per-problem precomputation shared (read-only)
+  // by every read; the scalar kernel never needs them.
+  std::optional<SweepPlan> plan;
+  if (options_.sweep_kernel != SweepKernel::kScalar) plan.emplace(ising);
+  const SweepPlan* plan_ptr = plan ? &*plan : nullptr;
   return RunReads(
       options_.num_reads, options_.num_threads,
       [&, beta](int read, SampleSet* local) {
         Rng read_rng = rng.Fork(static_cast<uint64_t>(read));
         std::vector<int8_t> spins(n);
-        RandomSpins(&read_rng, &spins);
-        AnnealIsingOnce(ising, beta, options_.sweeps_per_read, &read_rng,
-                        &spins);
+        InitSpins(options_.sweep_kernel, &read_rng, &spins);
+        RunSweeps(ising, plan_ptr, beta, options_.sweeps_per_read,
+                  options_.sweep_kernel, &read_rng, &spins, options_.executor,
+                  options_.sweep_threads);
         local->Add(qubo::SpinsToAssignment(spins), ising.Energy(spins));
       },
-      options_.executor);
+      options_.executor, options_.max_samples);
 }
 
 SampleSet SimulatedAnnealer::Sample(const qubo::QuboProblem& problem) const {

@@ -14,6 +14,7 @@
 
 #include "anneal/sample_set.h"
 #include "anneal/schedule.h"
+#include "anneal/sweep_kernel.h"
 #include "qubo/ising.h"
 #include "qubo/qubo.h"
 #include "util/rng.h"
@@ -43,6 +44,21 @@ struct SaOptions {
   /// Worker pool to fan reads across when `num_threads != 1`; null = the
   /// process-wide `util::Executor::Shared()` pool. Never owned.
   util::Executor* executor = nullptr;
+  /// Metropolis sweep implementation (see anneal/sweep_kernel.h). The
+  /// default `kScalar` is the bit-exact reference; the checkerboard
+  /// kernels trade the frozen random stream for throughput (and, with
+  /// `kCheckerboardFast`, a bounded-error exp).
+  SweepKernel sweep_kernel = SweepKernel::kScalar;
+  /// Concurrent chunks for the checkerboard kernels' per-class decide loop
+  /// *within* one read (single-read latency): 1 = inline (default), 0 =
+  /// hardware concurrency. Results are bit-identical at any value; ignored
+  /// by `kScalar`. Runs on the same `executor` as the read fan-out.
+  int sweep_threads = 1;
+  /// Streaming top-k retention: keep only the best `max_samples` distinct
+  /// assignments (0 = unlimited). Top-k membership, energies, and
+  /// occurrence counts are exact and thread-count independent;
+  /// `SampleSet::total_reads` still counts every read.
+  int max_samples = 0;
 };
 
 /// Metropolis simulated annealing sampler.
@@ -62,11 +78,6 @@ class SimulatedAnnealer {
  private:
   SaOptions options_;
 };
-
-/// Runs one annealing read in place: `spins` is the initial state and holds
-/// the final state on return. Exposed for reuse by the device simulator.
-void AnnealIsingOnce(const qubo::IsingProblem& ising, const Schedule& beta,
-                     int sweeps, Rng* rng, std::vector<int8_t>* spins);
 
 }  // namespace anneal
 }  // namespace qmqo

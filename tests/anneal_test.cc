@@ -84,6 +84,65 @@ TEST(SampleSetTest, SortsByEnergyAndMergesDuplicates) {
   EXPECT_EQ(set.total_reads(), 3);
 }
 
+TEST(SampleSetTest, MaxSamplesKeepsExactTopK) {
+  // A capped set must equal the uncapped set truncated after Finalize —
+  // membership, energies, and occurrence counts — while total_reads keeps
+  // counting dropped reads.
+  Rng rng(51);
+  SampleSet capped;
+  capped.set_max_samples(5);
+  SampleSet uncapped;
+  for (int i = 0; i < 400; ++i) {
+    // Few distinct energies force duplicates near the cutoff.
+    int level = rng.UniformInt(0, 19);
+    std::vector<uint8_t> assignment = {static_cast<uint8_t>(level % 2),
+                                       static_cast<uint8_t>(level / 2)};
+    capped.Add(assignment, static_cast<double>(level));
+    uncapped.Add(std::move(assignment), static_cast<double>(level));
+  }
+  capped.Finalize();
+  uncapped.Finalize();
+  ASSERT_LE(capped.samples().size(), 5u);
+  EXPECT_EQ(capped.total_reads(), 400);
+  for (size_t i = 0; i < capped.samples().size(); ++i) {
+    EXPECT_EQ(capped.samples()[i].assignment, uncapped.samples()[i].assignment);
+    EXPECT_DOUBLE_EQ(capped.samples()[i].energy, uncapped.samples()[i].energy);
+    EXPECT_EQ(capped.samples()[i].num_occurrences,
+              uncapped.samples()[i].num_occurrences);
+  }
+}
+
+TEST(SampleSetTest, MaxSamplesBoundsMemoryDuringStreaming) {
+  SampleSet set;
+  set.set_max_samples(3);
+  for (int i = 0; i < 10000; ++i) {
+    set.Add({static_cast<uint8_t>(i & 7)}, static_cast<double>(i % 100));
+    // The streaming compaction keeps the buffer within 2k + 64 entries.
+    ASSERT_LE(set.samples().size(), 3u * 2 + 64u);
+  }
+  set.Finalize();
+  EXPECT_EQ(set.samples().size(), 3u);
+  EXPECT_EQ(set.total_reads(), 10000);
+  EXPECT_DOUBLE_EQ(set.best().energy, 0.0);
+}
+
+TEST(SampleSetTest, MergeRespectsCap) {
+  SampleSet a;
+  a.set_max_samples(2);
+  a.Add({0}, 3.0);
+  a.Add({1}, 1.0);
+  a.Finalize();
+  SampleSet b;
+  b.Add({2}, 0.0);
+  b.Add({3}, 2.0);
+  b.Finalize();
+  a.Merge(b);
+  ASSERT_EQ(a.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(a.samples()[0].energy, 0.0);
+  EXPECT_DOUBLE_EQ(a.samples()[1].energy, 1.0);
+  EXPECT_EQ(a.total_reads(), 4);
+}
+
 TEST(SampleSetTest, MergeCombines) {
   SampleSet a;
   a.Add({1}, 1.0);
@@ -175,6 +234,32 @@ TEST(SimulatedAnnealerTest, DeterministicGivenSeed) {
   ASSERT_EQ(a.samples().size(), b.samples().size());
   for (size_t i = 0; i < a.samples().size(); ++i) {
     EXPECT_EQ(a.samples()[i].assignment, b.samples()[i].assignment);
+  }
+}
+
+TEST(SimulatedAnnealerTest, MaxSamplesMatchesUncappedTruncationAtAnyThreads) {
+  Rng rng(77);
+  qubo::QuboProblem problem = RandomQubo(10, 0.5, &rng);
+  SaOptions options;
+  options.num_reads = 64;
+  options.sweeps_per_read = 32;
+  options.seed = 3;
+  SampleSet uncapped = SimulatedAnnealer(options).Sample(problem);
+  for (int num_threads : {1, 2, 4}) {
+    SaOptions capped_options = options;
+    capped_options.max_samples = 4;
+    capped_options.num_threads = num_threads;
+    SampleSet capped = SimulatedAnnealer(capped_options).Sample(problem);
+    ASSERT_LE(capped.samples().size(), 4u);
+    EXPECT_EQ(capped.total_reads(), uncapped.total_reads());
+    for (size_t i = 0; i < capped.samples().size(); ++i) {
+      EXPECT_EQ(capped.samples()[i].assignment,
+                uncapped.samples()[i].assignment);
+      EXPECT_DOUBLE_EQ(capped.samples()[i].energy,
+                       uncapped.samples()[i].energy);
+      EXPECT_EQ(capped.samples()[i].num_occurrences,
+                uncapped.samples()[i].num_occurrences);
+    }
   }
 }
 
