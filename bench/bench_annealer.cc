@@ -12,6 +12,8 @@
 // serial kernel speedups) so the perf trajectory is machine-trackable
 // across PRs.
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -260,6 +262,31 @@ int main() {
                 legacy_speedup);
   }
 
+  // --- Memory accounting: bytes per retained sample on the serial SA
+  // result. `bytes_per_sample` is measured (packed arena words + entry
+  // records over the retained count); the unpacked reference is the
+  // byte-vector representation this storage replaced — one heap
+  // `std::vector<uint8_t>` per sample (n payload bytes + vector header)
+  // plus the energy/count fields. diff_bench.py gates the ratio at >= 4x
+  // for the 2048-spin instance. ---
+  const size_t retained = sa_serial.samples.samples().size();
+  const double bytes_per_sample =
+      retained > 0 ? static_cast<double>(sa_serial.samples.memory_bytes()) /
+                         static_cast<double>(retained)
+                   : 0.0;
+  const double unpacked_bytes_per_sample =
+      static_cast<double>(n) +
+      static_cast<double>(sizeof(std::vector<uint8_t>)) +
+      static_cast<double>(sizeof(double) + sizeof(int));
+  const double packed_memory_reduction =
+      bytes_per_sample > 0.0 ? unpacked_bytes_per_sample / bytes_per_sample
+                             : 0.0;
+  std::printf(
+      "memory: %.1f B/sample packed (%zu retained) vs %.1f B/sample "
+      "unpacked representation -> %.2fx reduction\n",
+      bytes_per_sample, retained, unpacked_bytes_per_sample,
+      packed_memory_reduction);
+
   // --- SQA: P coupled replicas, so a "sweep" touches P * n spins. The
   // sweep kernel follows QMQO_BENCH_KERNEL (default scalar), keyed into
   // the engine name so the frozen "sqa" baseline row stays scalar. ---
@@ -329,6 +356,16 @@ int main() {
               static_cast<long long>(workers_spawned_during_runs),
               pool.num_threads());
 
+  // Peak resident set of the whole bench process, for tracking the memory
+  // trajectory across PRs next to the per-sample accounting (machine- and
+  // allocator-dependent, so reported rather than gated).
+  struct rusage usage;
+  const int64_t peak_rss_kb =
+      getrusage(RUSAGE_SELF, &usage) == 0
+          ? static_cast<int64_t>(usage.ru_maxrss)
+          : 0;
+  std::printf("peak RSS: %lld KB\n", static_cast<long long>(peak_rss_kb));
+
   bench::JsonObject root;
   root.Add("bench", "annealer")
       .Add("spins", n)
@@ -340,6 +377,10 @@ int main() {
       .Add("bench_kernel", kernel_name)
       .Add("checkerboard_speedup_vs_scalar", checkerboard_speedup)
       .Add("checkerboard_fast_speedup_vs_scalar", checkerboard_fast_speedup)
+      .Add("bytes_per_sample", bytes_per_sample)
+      .Add("unpacked_bytes_per_sample", unpacked_bytes_per_sample)
+      .Add("packed_memory_reduction", packed_memory_reduction)
+      .Add("peak_rss_kb", peak_rss_kb)
       .Add("executor_pool_size", pool.num_threads())
       .Add("workers_spawned_during_runs",
            static_cast<int64_t>(workers_spawned_during_runs))

@@ -17,7 +17,10 @@ Exits nonzero when
     (the pool-reuse gate), or
   * the fresh artifact's serial checkerboard-kernel SA row falls below the
     serial scalar-kernel row's throughput (the checkerboard sweep layout
-    must never lose to the per-spin loop it replaces).
+    must never lose to the per-spin loop it replaces), or
+  * the fresh artifact's packed_memory_reduction (bytes per retained
+    sample of the byte-vector representation over the packed arena, on the
+    2048-spin instance) falls below --min-memory-reduction (default: 4).
 
 The default threshold is deliberately loose: bench machines differ (CI
 runners vs laptops), so this gate is meant to catch order-of-magnitude
@@ -57,6 +60,11 @@ def main():
     parser.add_argument("--metric", default="sweep_spins_per_sec",
                         help="per-row throughput metric to compare "
                              "(default: %(default)s)")
+    parser.add_argument("--min-memory-reduction", type=float, default=4.0,
+                        metavar="FACTOR",
+                        help="minimum tolerated packed_memory_reduction "
+                             "factor when the fresh artifact reports one "
+                             "(default: %(default)s)")
     args = parser.parse_args()
 
     fresh = load(args.fresh)
@@ -73,6 +81,25 @@ def main():
     if isinstance(spawned, (int, float)) and spawned != 0:
         failures.append(f"fresh artifact reports {spawned} worker threads "
                         "spawned during timed runs (pool not reused)")
+
+    # Packed-storage memory gate: the bench measures bytes per retained
+    # sample for the packed arena against the byte-vector representation
+    # it replaced; the reduction must hold (machine-independent — both
+    # numbers come from the same process on the same instance). A baseline
+    # that carries the field pins coverage: the fresh artifact may not
+    # silently drop the measurement.
+    reduction = fresh.get("packed_memory_reduction")
+    if isinstance(reduction, (int, float)):
+        if reduction < args.min_memory_reduction:
+            failures.append(
+                f"packed_memory_reduction {reduction:.2f}x fell below the "
+                f"required {args.min_memory_reduction:.1f}x")
+        else:
+            print(f"memory: packed_memory_reduction {reduction:.2f}x "
+                  f"(limit {args.min_memory_reduction:.1f}x)")
+    elif "packed_memory_reduction" in baseline:
+        failures.append("fresh artifact has no numeric "
+                        "'packed_memory_reduction' but the baseline does")
 
     # Kernel ordering gate: the checkerboard sweep must at least match the
     # scalar loop's serial throughput (same machine, same artifact, so no

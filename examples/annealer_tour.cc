@@ -90,14 +90,16 @@ int main() {
 
   // --- Read-out: chains, repair, plan selection. ---
   int broken_chain_reads = 0;
-  for (const auto& read : reads->raw_reads) {
-    if (!physical->ChainsConsistent(read)) ++broken_chain_reads;
+  std::vector<uint8_t> read_bytes;
+  for (anneal::AssignmentRef read : reads->raw_reads) {
+    read.CopyBytesTo(&read_bytes);
+    if (!physical->ChainsConsistent(read_bytes)) ++broken_chain_reads;
   }
-  std::printf("  reads with broken chains: %d / %zu\n", broken_chain_reads,
+  std::printf("  reads with broken chains: %d / %d\n", broken_chain_reads,
               reads->raw_reads.size());
 
   std::vector<uint8_t> best_logical =
-      physical->Unembed(reads->samples.best().assignment);
+      physical->Unembed(reads->samples.best().assignment.ToBytes());
   auto solution = logical->ToMqoSolution(best_logical);
   if (solution.ok()) {
     std::printf("\nbest read decodes to a valid plan selection with cost "

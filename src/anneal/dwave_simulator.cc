@@ -108,9 +108,10 @@ Result<DeviceResult> DWaveSimulator::Sample(
       }
       const SweepPlan* plan_ptr = plan ? &*plan : nullptr;
       // Per-read slots keep `raw_reads` chronological regardless of which
-      // worker executes a read.
-      std::vector<std::vector<uint8_t>> gauge_raw(
-          options_.record_reads ? static_cast<size_t>(reads) : 0);
+      // worker executes a read: the arena is sized up front, so workers
+      // pack their own disjoint word ranges with no append racing them.
+      PackedAssignments gauge_raw(converted.ising.num_spins());
+      if (options_.record_reads) gauge_raw.Resize(reads);
       SampleSet gauge_samples = RunReads(
           reads, options_.num_threads,
           [&, beta](int read, SampleSet* local) {
@@ -120,20 +121,17 @@ Result<DeviceResult> DWaveSimulator::Sample(
             InitSpins(options_.sweep_kernel, &read_rng, &spins);
             RunSweeps(programmed, plan_ptr, beta, options_.sa_sweeps,
                       options_.sweep_kernel, &read_rng, &spins);
-            std::vector<uint8_t> assignment =
-                qubo::SpinsToAssignment(gauge.RestoreSpins(spins));
+            std::vector<int8_t> restored = gauge.RestoreSpins(spins);
             // True energy on the customer's problem, not the noisy one.
-            double energy = physical.Energy(assignment);
+            double energy = physical.EnergySpins(restored);
             if (options_.record_reads) {
-              gauge_raw[static_cast<size_t>(read)] = assignment;
+              gauge_raw.StoreSpins(read, restored);
             }
-            local->Add(std::move(assignment), energy);
+            local->AddSpins(restored, energy);
           },
           executor, options_.max_samples);
       result.samples.Append(std::move(gauge_samples));
-      for (std::vector<uint8_t>& raw : gauge_raw) {
-        result.raw_reads.push_back(std::move(raw));
-      }
+      if (options_.record_reads) result.raw_reads.AppendAll(gauge_raw);
     } else {
       SqaOptions sqa_options = options_.sqa;
       sqa_options.num_reads = reads;
@@ -144,14 +142,14 @@ Result<DeviceResult> DWaveSimulator::Sample(
       sqa_options.max_samples = options_.max_samples;
       SimulatedQuantumAnnealer sqa(sqa_options);
       SampleSet gauge_samples = sqa.SampleIsing(programmed);
+      std::vector<int8_t> spins;
       for (const anneal::Sample& sample : gauge_samples.samples()) {
-        std::vector<int8_t> restored = gauge.RestoreSpins(
-            qubo::AssignmentToSpins(sample.assignment));
-        std::vector<uint8_t> assignment = qubo::SpinsToAssignment(restored);
-        double energy = physical.Energy(assignment);
+        sample.assignment.CopySpinsTo(&spins);
+        std::vector<int8_t> restored = gauge.RestoreSpins(spins);
+        double energy = physical.EnergySpins(restored);
         for (int k = 0; k < sample.num_occurrences; ++k) {
-          if (options_.record_reads) result.raw_reads.push_back(assignment);
-          result.samples.Add(assignment, energy);
+          if (options_.record_reads) result.raw_reads.AppendSpins(restored);
+          result.samples.AddSpins(restored, energy);
         }
       }
     }

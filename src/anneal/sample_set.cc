@@ -2,16 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
+#include <utility>
 
 namespace qmqo {
 namespace anneal {
+namespace {
 
-void SampleSet::Add(std::vector<uint8_t> assignment, double energy) {
-  Sample sample;
-  sample.assignment = std::move(assignment);
-  sample.energy = energy;
-  sample.num_occurrences = 1;
-  samples_.push_back(std::move(sample));
+/// The (energy, assignment) total order of the SampleSet contract;
+/// assignment order is unpacked byte-lexicographic (see packed.h).
+bool EntryLess(double energy_a, const AssignmentRef& a, double energy_b,
+               const AssignmentRef& b) {
+  if (energy_a != energy_b) return energy_a < energy_b;
+  return a.Compare(b) < 0;
+}
+
+}  // namespace
+
+void SampleSet::AddBytes(const uint8_t* bytes, int n, double energy) {
+  const int slot = pool_.AppendBytes(bytes, n);
+  entries_.push_back(Entry{energy, slot, 1});
+  total_reads_ += 1;
+  finalized_ = false;
+  MaybeCompact();
+}
+
+void SampleSet::AddSpins(const int8_t* spins, int n, double energy) {
+  const int slot = pool_.AppendSpins(spins, n);
+  entries_.push_back(Entry{energy, slot, 1});
   total_reads_ += 1;
   finalized_ = false;
   MaybeCompact();
@@ -19,32 +37,52 @@ void SampleSet::Add(std::vector<uint8_t> assignment, double energy) {
 
 void SampleSet::MaybeCompact() {
   if (max_samples_ <= 0) return;
-  if (static_cast<int>(samples_.size()) < 2 * max_samples_ + 64) return;
-  // Finalize sorts, dedups, and truncates to the cap; total_reads_ keeps
-  // counting dropped reads. Subsequent Adds clear finalized_ again.
+  if (static_cast<int>(entries_.size()) < 2 * max_samples_ + 64) return;
+  // Finalize sorts, dedups, truncates to the cap, and rebuilds the arena
+  // without the dropped words; total_reads_ keeps counting dropped reads.
+  // Subsequent Adds clear finalized_ again.
   Finalize();
 }
 
 void SampleSet::Finalize() {
   if (finalized_) return;
-  std::sort(samples_.begin(), samples_.end(),
-            [](const Sample& a, const Sample& b) {
-              if (a.energy != b.energy) return a.energy < b.energy;
-              return a.assignment < b.assignment;
-            });
-  std::vector<Sample> merged;
-  for (Sample& sample : samples_) {
-    if (!merged.empty() && merged.back().assignment == sample.assignment) {
-      merged.back().num_occurrences += sample.num_occurrences;
+  std::vector<int32_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int32_t x, int32_t y) {
+    const Entry& a = entries_[static_cast<size_t>(x)];
+    const Entry& b = entries_[static_cast<size_t>(y)];
+    return EntryLess(a.energy, pool_[a.slot], b.energy, pool_[b.slot]);
+  });
+  // Rebuild arena + entries in sorted order, coalescing adjacent duplicate
+  // assignments. Merged slots come out contiguous from 0, so the cap
+  // truncation below is a flat arena truncation.
+  PackedAssignments merged_pool(pool_.num_bits());
+  merged_pool.Reserve(static_cast<int>(entries_.size()));
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size());
+  for (int32_t index : order) {
+    const Entry& entry = entries_[static_cast<size_t>(index)];
+    if (!merged.empty() &&
+        merged_pool[merged.back().slot] == pool_[entry.slot]) {
+      merged.back().num_occurrences += entry.num_occurrences;
     } else {
-      merged.push_back(std::move(sample));
+      Entry copy = entry;
+      copy.slot = merged_pool.AppendFrom(pool_, entry.slot);
+      merged.push_back(copy);
     }
   }
-  samples_ = std::move(merged);
   if (max_samples_ > 0 &&
-      static_cast<int>(samples_.size()) > max_samples_) {
-    samples_.resize(static_cast<size_t>(max_samples_));
+      static_cast<int>(merged.size()) > max_samples_) {
+    merged.resize(static_cast<size_t>(max_samples_));
+    merged_pool.Truncate(max_samples_);
   }
+  // Release the slack dedup/truncation left behind the pre-merge reserve:
+  // memory_bytes() reports capacity, so finalized sets must hold exactly
+  // their retained words for the bytes-per-sample accounting to be honest.
+  merged_pool.ShrinkToFit();
+  merged.shrink_to_fit();
+  pool_ = std::move(merged_pool);
+  entries_ = std::move(merged);
   finalized_ = true;
 }
 
@@ -54,72 +92,97 @@ void SampleSet::Merge(const SampleSet& other) {
     Finalize();
     return;
   }
+  assert(pool_.num_bits() == 0 || other.pool_.num_bits() == 0 ||
+         pool_.num_bits() == other.pool_.num_bits());
   // Both inputs are sorted: linear merge + coalesce instead of re-sorting.
-  auto less = [](const Sample& a, const Sample& b) {
-    if (a.energy != b.energy) return a.energy < b.energy;
-    return a.assignment < b.assignment;
-  };
-  std::vector<Sample> merged;
-  merged.reserve(samples_.size() + other.samples_.size());
-  auto emit = [&merged](Sample sample) {
-    if (!merged.empty() && merged.back().assignment == sample.assignment) {
-      merged.back().num_occurrences += sample.num_occurrences;
+  PackedAssignments merged_pool(
+      pool_.num_bits() != 0 ? pool_.num_bits() : other.pool_.num_bits());
+  merged_pool.Reserve(
+      static_cast<int>(entries_.size() + other.entries_.size()));
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  auto emit = [&merged, &merged_pool](const PackedAssignments& src,
+                                      const Entry& entry) {
+    if (!merged.empty() &&
+        merged_pool[merged.back().slot] == src[entry.slot]) {
+      merged.back().num_occurrences += entry.num_occurrences;
     } else {
-      merged.push_back(std::move(sample));
+      Entry copy = entry;
+      copy.slot = merged_pool.AppendFrom(src, entry.slot);
+      merged.push_back(copy);
     }
   };
   size_t a = 0;
   size_t b = 0;
-  while (a < samples_.size() && b < other.samples_.size()) {
-    if (less(other.samples_[b], samples_[a])) {
-      emit(other.samples_[b++]);
+  while (a < entries_.size() && b < other.entries_.size()) {
+    const Entry& ea = entries_[a];
+    const Entry& eb = other.entries_[b];
+    if (EntryLess(eb.energy, other.pool_[eb.slot], ea.energy,
+                  pool_[ea.slot])) {
+      emit(other.pool_, eb);
+      ++b;
     } else {
-      emit(std::move(samples_[a++]));
+      emit(pool_, ea);
+      ++a;
     }
   }
-  while (a < samples_.size()) emit(std::move(samples_[a++]));
-  while (b < other.samples_.size()) emit(other.samples_[b++]);
-  samples_ = std::move(merged);
+  while (a < entries_.size()) emit(pool_, entries_[a++]);
+  while (b < other.entries_.size()) emit(other.pool_, other.entries_[b++]);
   if (max_samples_ > 0 &&
-      static_cast<int>(samples_.size()) > max_samples_) {
-    samples_.resize(static_cast<size_t>(max_samples_));
+      static_cast<int>(merged.size()) > max_samples_) {
+    merged.resize(static_cast<size_t>(max_samples_));
+    merged_pool.Truncate(max_samples_);
   }
+  merged_pool.ShrinkToFit();
+  merged.shrink_to_fit();
+  pool_ = std::move(merged_pool);
+  entries_ = std::move(merged);
   total_reads_ += other.total_reads_;
 }
 
 void SampleSet::Append(const SampleSet& other) {
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
+  const int base = pool_.AppendAll(other.pool_);
+  for (const Entry& entry : other.entries_) {
+    entries_.push_back(
+        Entry{entry.energy, entry.slot + base, entry.num_occurrences});
+  }
   total_reads_ += other.total_reads_;
   finalized_ = false;
   MaybeCompact();
 }
 
 void SampleSet::Append(SampleSet&& other) {
-  samples_.insert(samples_.end(),
-                  std::make_move_iterator(other.samples_.begin()),
-                  std::make_move_iterator(other.samples_.end()));
-  total_reads_ += other.total_reads_;
-  finalized_ = false;
-  other.samples_.clear();
+  if (entries_.empty() && pool_.empty()) {
+    // Steal the arena outright: the common first append of the parallel
+    // read engine's chunk-local accumulation.
+    pool_ = std::move(other.pool_);
+    entries_ = std::move(other.entries_);
+    total_reads_ += other.total_reads_;
+    finalized_ = false;
+  } else {
+    Append(static_cast<const SampleSet&>(other));
+  }
+  other.pool_.Reset(0);
+  other.entries_.clear();
   other.total_reads_ = 0;
   MaybeCompact();
 }
 
 void SampleSet::AddEnergyOffset(double offset) {
-  for (Sample& sample : samples_) {
-    sample.energy += offset;
+  for (Entry& entry : entries_) {
+    entry.energy += offset;
   }
   if (!finalized_) return;
   // A uniform shift preserves the energy order, but rounding can collapse
   // two distinct adjacent energies into a tie, where the (energy,
   // assignment) invariant that Merge's linear fast path relies on may no
   // longer hold. Detect and re-finalize in that (rare) case.
-  for (size_t i = 1; i < samples_.size(); ++i) {
-    const Sample& a = samples_[i - 1];
-    const Sample& b = samples_[i];
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& a = entries_[i - 1];
+    const Entry& b = entries_[i];
     if (a.energy > b.energy ||
-        (a.energy == b.energy && a.assignment > b.assignment)) {
+        (a.energy == b.energy &&
+         pool_[a.slot].Compare(pool_[b.slot]) > 0)) {
       finalized_ = false;
       Finalize();
       return;

@@ -5,16 +5,37 @@
 /// Collections of annealing samples, mirroring the result format of
 /// D-Wave's SAPI: assignments with energies and occurrence counts, sorted
 /// by energy.
+///
+/// Storage model: assignments live bit-packed in one `PackedAssignments`
+/// arena per set (64 spins per word — see anneal/packed.h), not as one
+/// heap-allocated byte vector per sample. A retained 2048-spin sample costs
+/// 256 bytes of pooled words plus a 16-byte entry record instead of a
+/// ~2 KB `std::vector<uint8_t>`; `Sample` is therefore a lightweight *view*
+/// (an `AssignmentRef` plus energy and count) whose assignment bits are
+/// invalidated by the next mutation of the owning set, exactly like vector
+/// iterators. All assignments in one set share one width (the problem
+/// size), which every sampler guarantees by construction.
+///
+/// The ordering contract is unchanged from the byte-vector representation:
+/// `Finalize` sorts by (energy, assignment) where assignment order is the
+/// unpacked byte-lexicographic order (`AssignmentRef::Compare` reproduces
+/// it bit-for-bit), so finalized sets — including capped top-k sets and the
+/// parallel read engine's merged chunk results — are bit-identical to what
+/// the unpacked representation produced.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "anneal/packed.h"
 
 namespace qmqo {
 namespace anneal {
 
-/// One observed assignment.
+/// One observed assignment: a view into the owning set's packed arena.
+/// Cheap to copy; `assignment` is invalidated by mutation of the set.
 struct Sample {
-  std::vector<uint8_t> assignment;
+  AssignmentRef assignment;
   double energy = 0.0;
   int num_occurrences = 1;
 };
@@ -40,33 +61,92 @@ class SampleSet {
   }
   int max_samples() const { return max_samples_; }
 
-  /// Records one read. Not deduplicated until `Finalize`.
-  void Add(std::vector<uint8_t> assignment, double energy);
+  /// Records one read from 0/1 bytes. Not deduplicated until `Finalize`.
+  void Add(const std::vector<uint8_t>& assignment, double energy) {
+    AddBytes(assignment.data(), static_cast<int>(assignment.size()), energy);
+  }
+  void AddBytes(const uint8_t* bytes, int n, double energy);
 
-  /// Sorts by energy (ascending) and merges identical assignments.
+  /// Records one read straight from ±1 spins — the sampler read-out path:
+  /// the spins are bit-packed word-wise into the arena with no intermediate
+  /// byte vector.
+  void AddSpins(const int8_t* spins, int n, double energy);
+  void AddSpins(const std::vector<int8_t>& spins, double energy) {
+    AddSpins(spins.data(), static_cast<int>(spins.size()), energy);
+  }
+
+  /// Sorts by energy (ascending) and merges identical assignments. Also
+  /// rebuilds the arena in sorted order, releasing the words of merged
+  /// (and, under a cap, dropped) samples.
   void Finalize();
 
-  /// Samples in ascending energy order (after `Finalize`).
-  const std::vector<Sample>& samples() const { return samples_; }
+  /// Random access view of sample `i` (after `Finalize`: ascending energy).
+  Sample operator[](size_t i) const { return View(i); }
 
-  bool empty() const { return samples_.empty(); }
+  /// Number of stored (post-`Finalize`: distinct) samples.
+  size_t size() const { return entries_.size(); }
+
+  /// Lightweight range over the samples, so callers keep writing
+  /// `set.samples().size()`, `set.samples()[i]`, and
+  /// `for (const Sample& s : set.samples())` against the packed storage.
+  class SampleRange {
+   public:
+    class const_iterator {
+     public:
+      const_iterator(const SampleSet* set, size_t index)
+          : set_(set), index_(index) {}
+      Sample operator*() const { return set_->View(index_); }
+      const_iterator& operator++() {
+        ++index_;
+        return *this;
+      }
+      friend bool operator==(const const_iterator& a,
+                             const const_iterator& b) {
+        return a.index_ == b.index_;
+      }
+      friend bool operator!=(const const_iterator& a,
+                             const const_iterator& b) {
+        return a.index_ != b.index_;
+      }
+
+     private:
+      const SampleSet* set_;
+      size_t index_;
+    };
+
+    explicit SampleRange(const SampleSet* set) : set_(set) {}
+    size_t size() const { return set_->size(); }
+    bool empty() const { return set_->size() == 0; }
+    Sample operator[](size_t i) const { return set_->View(i); }
+    Sample front() const { return set_->View(0); }
+    const_iterator begin() const { return const_iterator(set_, 0); }
+    const_iterator end() const { return const_iterator(set_, set_->size()); }
+
+   private:
+    const SampleSet* set_;
+  };
+  SampleRange samples() const { return SampleRange(this); }
+
+  bool empty() const { return entries_.empty(); }
 
   /// The lowest-energy sample; requires a non-empty set.
-  const Sample& best() const { return samples_.front(); }
+  Sample best() const { return View(0); }
 
   /// Total number of reads recorded (sum of occurrence counts).
   int total_reads() const { return total_reads_; }
 
   /// Merges another sample set into this one. When both sets are already
   /// finalized this is a linear two-way merge (no re-sort); the result is
-  /// finalized either way.
+  /// finalized either way. Both sets must hold assignments of one common
+  /// width (an empty set adopts the other's).
   void Merge(const SampleSet& other);
 
   /// Appends another set's samples without sorting or deduplicating.
   /// Cheaper than `Merge` when accumulating many partial sets (e.g. the
   /// per-thread sets of the parallel read engine): append them all, then
-  /// `Finalize` once. The rvalue overload moves the assignment vectors
-  /// instead of copying them.
+  /// `Finalize` once. Appending into an empty set moves the other set's
+  /// arena instead of copying it; otherwise the words are copied in one
+  /// flat block.
   void Append(const SampleSet& other);
   void Append(SampleSet&& other);
 
@@ -74,12 +154,36 @@ class SampleSet {
   /// unaffected). Used to re-express Ising energies on the QUBO scale.
   void AddEnergyOffset(double offset);
 
+  /// The packed arena itself (entry order, i.e. energy-sorted after
+  /// `Finalize`) — serialized by the golden determinism fixtures and
+  /// measured by the bench's memory accounting.
+  const PackedAssignments& assignments() const { return pool_; }
+
+  /// Heap bytes held by the set: arena words plus entry records. The
+  /// number behind the bench's `bytes_per_sample`.
+  size_t memory_bytes() const {
+    return pool_.memory_bytes() + entries_.capacity() * sizeof(Entry);
+  }
+
  private:
+  /// Entry record: 16 bytes per retained sample next to the packed words.
+  struct Entry {
+    double energy;
+    int32_t slot;
+    int32_t num_occurrences;
+  };
+
+  Sample View(size_t i) const {
+    const Entry& entry = entries_[i];
+    return Sample{pool_[entry.slot], entry.energy, entry.num_occurrences};
+  }
+
   /// Sort + dedup + truncate once the buffer outgrows twice the cap
   /// (amortized O(log) per add); no-op without a cap.
   void MaybeCompact();
 
-  std::vector<Sample> samples_;
+  PackedAssignments pool_;
+  std::vector<Entry> entries_;
   int total_reads_ = 0;
   int max_samples_ = 0;
   bool finalized_ = false;

@@ -40,7 +40,9 @@ SampleSet SimulatedAnnealer::SampleIsing(const qubo::IsingProblem& ising) const 
         RunSweeps(ising, plan_ptr, beta, options_.sweeps_per_read,
                   options_.sweep_kernel, &read_rng, &spins, options_.executor,
                   options_.sweep_threads);
-        local->Add(qubo::SpinsToAssignment(spins), ising.Energy(spins));
+        // Read-out appends the spins bit-packed into the chunk-local
+        // arena: no per-read byte vector, no per-sample heap allocation.
+        local->AddSpins(spins, ising.Energy(spins));
       },
       options_.executor, options_.max_samples);
 }

@@ -89,10 +89,6 @@ class SqaState {
     return ising_.Energy(slice);
   }
 
-  std::vector<int8_t> SliceCopy(int k) const {
-    return std::vector<int8_t>(slice_spins(k), slice_spins(k) + n_);
-  }
-
  private:
   const qubo::IsingProblem& ising_;
   int n_;
@@ -256,8 +252,7 @@ SampleSet SimulatedQuantumAnnealer::SampleIsing(
             best_slice = k;
           }
         }
-        local->Add(qubo::SpinsToAssignment(state.SliceCopy(best_slice)),
-                   best_energy);
+        local->AddSpins(state.slice_spins(best_slice), n, best_energy);
       },
       options_.executor, options_.max_samples);
 }

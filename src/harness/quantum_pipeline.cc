@@ -42,7 +42,10 @@ Result<QuantumMqoResult> SolveQuantumMqo(const mqo::MqoProblem& problem,
   double broken_chain_sum = 0.0;
   int valid_reads = 0;
   int read_index = 0;
-  for (const std::vector<uint8_t>& physical_read : device_result.raw_reads) {
+  // Reads come back bit-packed; unpack each into one reused byte buffer.
+  std::vector<uint8_t> physical_read;
+  for (anneal::AssignmentRef packed_read : device_result.raw_reads) {
+    packed_read.CopyBytesTo(&physical_read);
     ++read_index;
     broken_chain_sum += physical.BrokenChainFraction(physical_read);
     std::vector<uint8_t> logical_read = physical.Unembed(physical_read);
@@ -61,7 +64,7 @@ Result<QuantumMqoResult> SolveQuantumMqo(const mqo::MqoProblem& problem,
     }
   }
   result.best_cost = best_cost;
-  int total_reads = static_cast<int>(device_result.raw_reads.size());
+  int total_reads = device_result.raw_reads.size();
   if (total_reads > 0) {
     result.broken_chain_read_fraction = broken_chain_sum / total_reads;
     result.valid_read_fraction =

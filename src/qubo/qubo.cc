@@ -92,6 +92,24 @@ double QuboProblem::Energy(const std::vector<uint8_t>& x) const {
   return energy;
 }
 
+double QuboProblem::EnergySpins(const std::vector<int8_t>& spins) const {
+  assert(static_cast<int>(spins.size()) == num_vars_);
+  EnsureFinalized();
+  double energy = 0.0;
+  for (VarId i = 0; i < num_vars_; ++i) {
+    if (spins[static_cast<size_t>(i)] > 0) {
+      energy += linear_[static_cast<size_t>(i)];
+    }
+  }
+  for (const Interaction& term : interactions_) {
+    if (spins[static_cast<size_t>(term.i)] > 0 &&
+        spins[static_cast<size_t>(term.j)] > 0) {
+      energy += term.weight;
+    }
+  }
+  return energy;
+}
+
 double QuboProblem::FlipDelta(const std::vector<uint8_t>& x, VarId i) const {
   EnsureFinalized();
   // Local field: linear term plus quadratic terms with currently-set

@@ -73,6 +73,12 @@ class QuboProblem {
   /// Evaluates E(x); `x` must have `num_vars()` entries of 0/1.
   double Energy(const std::vector<uint8_t>& x) const;
 
+  /// Evaluates E(x) for x_i = (s_i > 0), i.e. directly on a ±1 spin vector
+  /// — the annealer read-out path, which skips materializing the byte
+  /// assignment just to evaluate it. (A distinct name, not an overload:
+  /// braced initializer lists at Energy call sites must stay unambiguous.)
+  double EnergySpins(const std::vector<int8_t>& spins) const;
+
   /// Energy change if x_i were flipped: E(x with flip) − E(x). O(degree(i)).
   double FlipDelta(const std::vector<uint8_t>& x, VarId i) const;
 

@@ -16,6 +16,18 @@ namespace qmqo {
 namespace anneal {
 namespace {
 
+/// Binary encoding of `value` as a `width`-bit 0/1 assignment. The packed
+/// arena stores assignments as bits, so synthetic test assignments use bit
+/// patterns where the byte-vector representation tolerated multi-valued
+/// bytes.
+std::vector<uint8_t> Bits(int value, int width) {
+  std::vector<uint8_t> out(static_cast<size_t>(width));
+  for (int b = 0; b < width; ++b) {
+    out[static_cast<size_t>(b)] = static_cast<uint8_t>((value >> b) & 1);
+  }
+  return out;
+}
+
 qubo::QuboProblem RandomQubo(int num_vars, double density, Rng* rng) {
   qubo::QuboProblem problem(num_vars);
   for (int i = 0; i < num_vars; ++i) {
@@ -95,10 +107,9 @@ TEST(SampleSetTest, MaxSamplesKeepsExactTopK) {
   for (int i = 0; i < 400; ++i) {
     // Few distinct energies force duplicates near the cutoff.
     int level = rng.UniformInt(0, 19);
-    std::vector<uint8_t> assignment = {static_cast<uint8_t>(level % 2),
-                                       static_cast<uint8_t>(level / 2)};
+    std::vector<uint8_t> assignment = Bits(level, 5);
     capped.Add(assignment, static_cast<double>(level));
-    uncapped.Add(std::move(assignment), static_cast<double>(level));
+    uncapped.Add(assignment, static_cast<double>(level));
   }
   capped.Finalize();
   uncapped.Finalize();
@@ -116,7 +127,7 @@ TEST(SampleSetTest, MaxSamplesBoundsMemoryDuringStreaming) {
   SampleSet set;
   set.set_max_samples(3);
   for (int i = 0; i < 10000; ++i) {
-    set.Add({static_cast<uint8_t>(i & 7)}, static_cast<double>(i % 100));
+    set.Add(Bits(i & 7, 3), static_cast<double>(i % 100));
     // The streaming compaction keeps the buffer within 2k + 64 entries.
     ASSERT_LE(set.samples().size(), 3u * 2 + 64u);
   }
@@ -129,18 +140,67 @@ TEST(SampleSetTest, MaxSamplesBoundsMemoryDuringStreaming) {
 TEST(SampleSetTest, MergeRespectsCap) {
   SampleSet a;
   a.set_max_samples(2);
-  a.Add({0}, 3.0);
-  a.Add({1}, 1.0);
+  a.Add(Bits(0, 2), 3.0);
+  a.Add(Bits(1, 2), 1.0);
   a.Finalize();
   SampleSet b;
-  b.Add({2}, 0.0);
-  b.Add({3}, 2.0);
+  b.Add(Bits(2, 2), 0.0);
+  b.Add(Bits(3, 2), 2.0);
   b.Finalize();
   a.Merge(b);
   ASSERT_EQ(a.samples().size(), 2u);
   EXPECT_DOUBLE_EQ(a.samples()[0].energy, 0.0);
   EXPECT_DOUBLE_EQ(a.samples()[1].energy, 1.0);
   EXPECT_EQ(a.total_reads(), 4);
+}
+
+TEST(SampleSetTest, MergeOfCappedSetsOverlappingAtEnergyCutBoundary) {
+  // Two capped sets whose retained ranges overlap exactly at the energy
+  // cut: every survivor of the merge sits at the tie energy, so retention
+  // is decided purely by the assignment tie-break (byte-lexicographic
+  // order of the unpacked bits). The merged capped result must equal the
+  // uncapped union truncated after Finalize — membership, energies, AND
+  // occurrence counts.
+  constexpr int kCap = 3;
+  constexpr double kCut = 5.0;  // every sample ties at the cut energy
+  SampleSet a;
+  a.set_max_samples(kCap);
+  SampleSet b;
+  b.set_max_samples(kCap);
+  SampleSet uncapped;
+  // Assignments 0..5 all at the cut energy, split across the sets with a
+  // shared straddler (assignment 2 appears in both, so its occurrence
+  // count must survive the per-set caps intact).
+  for (int value : {0, 2, 4, 2, 1}) {
+    a.Add(Bits(value, 3), kCut);
+    uncapped.Add(Bits(value, 3), kCut);
+  }
+  for (int value : {5, 2, 3, 0}) {
+    b.Add(Bits(value, 3), kCut);
+    uncapped.Add(Bits(value, 3), kCut);
+  }
+  // Byte-lex order over the unpacked bits (LSB first) ranks the values
+  // 0 < 4 < 2 < 1 < 5 < 3 at the tie energy.
+  a.Finalize();
+  b.Finalize();
+  ASSERT_EQ(a.samples().size(), 3u);  // {0, 4, 2} survive a's cap
+  ASSERT_EQ(b.samples().size(), 3u);  // {0, 2, 5} survive b's cap
+  a.Merge(b);
+  uncapped.Finalize();
+  ASSERT_EQ(a.samples().size(), 3u);
+  EXPECT_EQ(a.total_reads(), 9);
+  for (size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].assignment, uncapped.samples()[i].assignment);
+    EXPECT_DOUBLE_EQ(a.samples()[i].energy, uncapped.samples()[i].energy);
+    EXPECT_EQ(a.samples()[i].num_occurrences,
+              uncapped.samples()[i].num_occurrences);
+  }
+  // The boundary survivors under the byte-lex tie-break: 0 (twice, once
+  // per set), 4, and the straddler 2 (three occurrences across both sets
+  // — a's cap kept both of its copies, b's kept its one).
+  EXPECT_EQ(a.samples()[0].num_occurrences, 2);
+  EXPECT_EQ(a.samples()[1].num_occurrences, 1);
+  EXPECT_EQ(a.samples()[2].num_occurrences, 3);
 }
 
 TEST(SampleSetTest, MergeCombines) {
@@ -215,7 +275,7 @@ TEST_P(SaOptimalityProperty, FindsGroundStateOfSmallProblems) {
   EXPECT_NEAR(samples.best().energy, exact->energy, 1e-9);
   // Reported energies must match re-evaluation.
   for (const Sample& sample : samples.samples()) {
-    EXPECT_NEAR(problem.Energy(sample.assignment), sample.energy, 1e-9);
+    EXPECT_NEAR(problem.Energy(sample.assignment.ToBytes()), sample.energy, 1e-9);
   }
 }
 
@@ -308,7 +368,7 @@ TEST(SqaTest, EnergiesMatchAssignments) {
   SimulatedQuantumAnnealer annealer(options);
   SampleSet samples = annealer.Sample(problem);
   for (const Sample& sample : samples.samples()) {
-    EXPECT_NEAR(problem.Energy(sample.assignment), sample.energy, 1e-9);
+    EXPECT_NEAR(problem.Energy(sample.assignment.ToBytes()), sample.energy, 1e-9);
   }
 }
 
@@ -368,7 +428,7 @@ TEST(DWaveSimulatorTest, EnergiesReportedOnOriginalScale) {
   auto result = device.Sample(problem);
   ASSERT_TRUE(result.ok());
   for (const Sample& sample : result->samples.samples()) {
-    EXPECT_NEAR(problem.Energy(sample.assignment), sample.energy, 1e-9);
+    EXPECT_NEAR(problem.Energy(sample.assignment.ToBytes()), sample.energy, 1e-9);
   }
 }
 
@@ -382,7 +442,7 @@ TEST(DWaveSimulatorTest, RecordReadsKeepsChronologicalCount) {
   DWaveSimulator device(options);
   auto result = device.Sample(problem);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->raw_reads.size(), 37u);
+  EXPECT_EQ(result->raw_reads.size(), 37);
 }
 
 TEST(DWaveSimulatorTest, DeterministicGivenSeed) {

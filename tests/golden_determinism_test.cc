@@ -1,0 +1,232 @@
+// Golden determinism fixtures: committed JSON snapshots of the SampleSets
+// that SA, SQA, and the device simulator produce at fixed seeds — energies
+// (as exact IEEE-754 bit patterns), occurrence counts, and the packed
+// assignment words — for every sweep kernel. Each snapshot is asserted
+// byte-stable across 1/2/4 worker threads and against the committed file,
+// so future refactors of the samplers, the parallel read engine, or the
+// SampleSet representation diff against committed truth instead of
+// re-deriving "serial equals parallel" from scratch.
+//
+// Regenerating (only when an intentional stream/contract change lands):
+//   QMQO_UPDATE_GOLDEN=1 ./golden_determinism_test
+// then commit the rewritten files under tests/golden/ and call the change
+// out in the PR description — a golden diff IS a results change.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "anneal/dwave_simulator.h"
+#include "anneal/sample_set.h"
+#include "anneal/simulated_annealer.h"
+#include "anneal/sqa.h"
+#include "util/rng.h"
+
+#ifndef QMQO_GOLDEN_DIR
+#define QMQO_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace qmqo {
+namespace anneal {
+namespace {
+
+/// The shared fixture problem: a fixed 16-variable random QUBO. Small
+/// enough that every engine finishes in milliseconds, dense enough that
+/// duplicate assignments exercise the dedup-merge path.
+qubo::QuboProblem FixtureProblem() {
+  Rng rng(20260729);
+  qubo::QuboProblem problem(16);
+  for (int i = 0; i < 16; ++i) {
+    problem.AddLinear(i, rng.UniformReal(-4.0, 4.0));
+    for (int j = i + 1; j < 16; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        problem.AddQuadratic(i, j, rng.UniformReal(-4.0, 4.0));
+      }
+    }
+  }
+  return problem;
+}
+
+std::string HexU64(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Canonical byte-stable serialization: energies as IEEE-754 bit patterns
+/// (the readable decimal rendering rides along for humans), counts, and
+/// the packed assignment words. One sample per line for reviewable diffs.
+std::string Serialize(const std::string& engine, const std::string& kernel,
+                      const SampleSet& set) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"engine\": \"" << engine << "\",\n";
+  out << "  \"kernel\": \"" << kernel << "\",\n";
+  out << "  \"num_bits\": " << set.assignments().num_bits() << ",\n";
+  out << "  \"total_reads\": " << set.total_reads() << ",\n";
+  out << "  \"samples\": [";
+  for (size_t i = 0; i < set.samples().size(); ++i) {
+    const Sample sample = set.samples()[i];
+    uint64_t energy_bits;
+    static_assert(sizeof(energy_bits) == sizeof(sample.energy), "");
+    std::memcpy(&energy_bits, &sample.energy, sizeof(energy_bits));
+    char energy_text[64];
+    std::snprintf(energy_text, sizeof(energy_text), "%.17g", sample.energy);
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"energy_hex\": \"" << HexU64(energy_bits)
+        << "\", \"energy\": \"" << energy_text
+        << "\", \"count\": " << sample.num_occurrences << ", \"words\": [";
+    const AssignmentRef ref = sample.assignment;
+    for (int w = 0; w < ref.num_words(); ++w) {
+      out << (w == 0 ? "" : ", ") << "\"" << HexU64(ref.words()[w]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+/// Compares `serialized` against the committed fixture (or rewrites it
+/// under QMQO_UPDATE_GOLDEN=1).
+void CheckGolden(const std::string& name, const std::string& serialized) {
+  const std::string path = std::string(QMQO_GOLDEN_DIR) + "/" + name + ".json";
+  if (std::getenv("QMQO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << serialized;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden fixture " << path
+      << " — run with QMQO_UPDATE_GOLDEN=1 to generate it";
+  std::stringstream committed;
+  committed << in.rdbuf();
+  EXPECT_EQ(committed.str(), serialized)
+      << name << ": results diverged from the committed fixture. If the "
+      << "change is intentional, regenerate with QMQO_UPDATE_GOLDEN=1 and "
+      << "call the golden diff out in the PR.";
+}
+
+constexpr SweepKernel kKernels[] = {SweepKernel::kScalar,
+                                    SweepKernel::kCheckerboard,
+                                    SweepKernel::kCheckerboardFast};
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+TEST(GoldenDeterminismTest, SimulatedAnnealerSnapshots) {
+  qubo::QuboProblem problem = FixtureProblem();
+  for (SweepKernel kernel : kKernels) {
+    std::string reference;
+    for (int threads : kThreadCounts) {
+      SaOptions options;
+      options.num_reads = 12;
+      options.sweeps_per_read = 48;
+      options.seed = 7;
+      options.sweep_kernel = kernel;
+      options.num_threads = threads;
+      const std::string serialized =
+          Serialize("sa", SweepKernelName(kernel),
+                    SimulatedAnnealer(options).Sample(problem));
+      if (threads == 1) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "sa/" << SweepKernelName(kernel) << " at " << threads
+            << " threads diverged from serial";
+      }
+    }
+    CheckGolden(std::string("sa_") + SweepKernelName(kernel), reference);
+  }
+}
+
+TEST(GoldenDeterminismTest, SqaSnapshots) {
+  qubo::QuboProblem problem = FixtureProblem();
+  for (SweepKernel kernel : kKernels) {
+    std::string reference;
+    for (int threads : kThreadCounts) {
+      SqaOptions options;
+      options.num_reads = 6;
+      options.num_slices = 4;
+      options.sweeps = 24;
+      options.seed = 9;
+      options.sweep_kernel = kernel;
+      options.num_threads = threads;
+      const std::string serialized =
+          Serialize("sqa", SweepKernelName(kernel),
+                    SimulatedQuantumAnnealer(options).Sample(problem));
+      if (threads == 1) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "sqa/" << SweepKernelName(kernel) << " at " << threads
+            << " threads diverged from serial";
+      }
+    }
+    CheckGolden(std::string("sqa_") + SweepKernelName(kernel), reference);
+  }
+}
+
+TEST(GoldenDeterminismTest, DeviceSnapshots) {
+  qubo::QuboProblem problem = FixtureProblem();
+  for (SweepKernel kernel : kKernels) {
+    std::string reference;
+    for (int threads : kThreadCounts) {
+      DWaveOptions options;
+      options.num_reads = 12;
+      options.num_gauges = 3;
+      options.sa_sweeps = 24;
+      options.seed = 11;
+      options.sweep_kernel = kernel;
+      options.num_threads = threads;
+      auto result = DWaveSimulator(options).Sample(problem);
+      ASSERT_TRUE(result.ok());
+      const std::string serialized =
+          Serialize("device", SweepKernelName(kernel), result->samples);
+      if (threads == 1) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "device/" << SweepKernelName(kernel) << " at " << threads
+            << " threads diverged from serial";
+      }
+    }
+    CheckGolden(std::string("device_") + SweepKernelName(kernel), reference);
+  }
+}
+
+/// The capped (streaming top-k) SA result is part of the frozen contract
+/// too: top-k membership, energies, counts at any thread count.
+TEST(GoldenDeterminismTest, CappedSaSnapshot) {
+  qubo::QuboProblem problem = FixtureProblem();
+  std::string reference;
+  for (int threads : kThreadCounts) {
+    SaOptions options;
+    options.num_reads = 24;
+    options.sweeps_per_read = 32;
+    options.seed = 13;
+    options.max_samples = 5;
+    options.num_threads = threads;
+    const std::string serialized =
+        Serialize("sa_capped", "scalar",
+                  SimulatedAnnealer(options).Sample(problem));
+    if (threads == 1) {
+      reference = serialized;
+    } else {
+      EXPECT_EQ(serialized, reference)
+          << "sa_capped at " << threads << " threads diverged from serial";
+    }
+  }
+  CheckGolden("sa_capped_scalar", reference);
+}
+
+}  // namespace
+}  // namespace anneal
+}  // namespace qmqo

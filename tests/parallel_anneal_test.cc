@@ -22,6 +22,16 @@ namespace {
 
 constexpr int kThreadCounts[] = {1, 2, 8};
 
+/// Binary encoding of `value` as a `width`-bit 0/1 assignment (the packed
+/// arena stores bits, not multi-valued bytes).
+std::vector<uint8_t> Bits(int value, int width) {
+  std::vector<uint8_t> out(static_cast<size_t>(width));
+  for (int b = 0; b < width; ++b) {
+    out[static_cast<size_t>(b)] = static_cast<uint8_t>((value >> b) & 1);
+  }
+  return out;
+}
+
 qubo::QuboProblem RandomQubo(int num_vars, double density, Rng* rng) {
   qubo::QuboProblem problem(num_vars);
   for (int i = 0; i < num_vars; ++i) {
@@ -49,7 +59,7 @@ void ExpectIdentical(const SampleSet& a, const SampleSet& b) {
 TEST(RunReadsTest, PartitionsEveryReadExactlyOnce) {
   for (int threads : {1, 2, 3, 8, 16}) {
     SampleSet set = RunReads(13, threads, [](int read, SampleSet* local) {
-      local->Add({static_cast<uint8_t>(read)}, static_cast<double>(read));
+      local->Add(Bits(read, 4), static_cast<double>(read));
     });
     EXPECT_EQ(set.total_reads(), 13);
     ASSERT_EQ(set.samples().size(), 13u);
@@ -68,7 +78,7 @@ TEST(RunReadsTest, ZeroReadsYieldsEmptyFinalizedSet) {
 
 TEST(RunReadsTest, MoreThreadsThanReads) {
   SampleSet set = RunReads(3, 16, [](int read, SampleSet* local) {
-    local->Add({static_cast<uint8_t>(read)}, 0.0);
+    local->Add(Bits(read, 2), 0.0);
   });
   EXPECT_EQ(set.total_reads(), 3);
 }
@@ -88,7 +98,7 @@ TEST(RunReadsTest, CallerSuppliedExecutorIsReusedNotRespawned) {
     SampleSet set = RunReads(
         11, 4,
         [](int read, SampleSet* local) {
-          local->Add({static_cast<uint8_t>(read)}, static_cast<double>(read));
+          local->Add(Bits(read, 4), static_cast<double>(read));
         },
         &executor);
     EXPECT_EQ(set.total_reads(), 11);
@@ -101,7 +111,7 @@ TEST(RunReadsTest, SharedPoolFallbackSpawnsNothingPerCall) {
   const int64_t spawned = util::Executor::TotalWorkersSpawned();
   for (int round = 0; round < 3; ++round) {
     SampleSet set = RunReads(7, 3, [](int read, SampleSet* local) {
-      local->Add({static_cast<uint8_t>(read)}, 0.0);
+      local->Add(Bits(read, 3), 0.0);
     });
     EXPECT_EQ(set.total_reads(), 7);
   }
@@ -244,11 +254,11 @@ TEST(SampleSetOpsTest, AddEnergyOffsetShiftsInPlace) {
 
 TEST(SampleSetOpsTest, AppendThenFinalizeEqualsMerge) {
   SampleSet a;
-  a.Add({1}, 1.0);
-  a.Add({0}, 0.0);
+  a.Add({1, 0}, 1.0);
+  a.Add({0, 0}, 0.0);
   a.Finalize();
   SampleSet b;
-  b.Add({1}, 1.0);
+  b.Add({1, 0}, 1.0);
   b.Add({1, 1}, 2.0);  // different assignment, makes ordering interesting
   b.Finalize();
 
@@ -259,7 +269,7 @@ TEST(SampleSetOpsTest, AppendThenFinalizeEqualsMerge) {
   appended.Finalize();
   ExpectIdentical(merged, appended);
   EXPECT_EQ(merged.total_reads(), 4);
-  EXPECT_EQ(merged.samples()[1].num_occurrences, 2);  // {1} twice
+  EXPECT_EQ(merged.samples()[1].num_occurrences, 2);  // {1, 0} twice
 }
 
 TEST(SampleSetOpsTest, MergeUnfinalizedInputsStillFinalizes) {

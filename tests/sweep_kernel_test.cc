@@ -388,8 +388,8 @@ TEST(SweepKernelTest, KernelsReachParityOn512SpinGlass) {
     best[index++] = samples.best().energy;
     // Reported energies are exact re-evaluations under every kernel.
     for (const Sample& sample : samples.samples()) {
-      EXPECT_NEAR(glass.Energy(qubo::AssignmentToSpins(sample.assignment)),
-                  sample.energy, 1e-9);
+      EXPECT_NEAR(glass.Energy(sample.assignment.ToSpins()), sample.energy,
+                  1e-9);
     }
   }
   // All kernels sample the same Boltzmann target: best-of-24 energies
