@@ -27,6 +27,8 @@
 #include "anneal/sqa.h"
 #include "bench_common.h"
 #include "chimera/topology.h"
+#include "harness/paper_workload.h"
+#include "harness/resilient_solver.h"
 #include "qubo/ising.h"
 #include "util/executor.h"
 #include "util/rng.h"
@@ -348,6 +350,51 @@ int main() {
         return result;
       });
 
+  // --- Resilient orchestrator, no-fault hot path: one resilient MQO solve
+  // on a 4x4x4 paper instance through the shared pool. The interesting
+  // numbers are the fault/retry/fallback totals — all must stay zero in
+  // the default bench (one null-pointer test per fault site is the entire
+  // cost of the fault machinery), which diff_bench.py gates. ---
+  double resilient_wall_ms = 0.0;
+  harness::SolveReport solve_report;
+  {
+    Rng workload_rng(4);
+    chimera::ChimeraGraph chip(4, 4, 4);
+    harness::PaperWorkloadOptions workload;
+    workload.plans_per_query = 2;
+    workload.num_queries = 16;
+    auto paper = harness::GeneratePaperInstance(chip, workload, &workload_rng);
+    if (!paper.ok()) {
+      std::fprintf(stderr, "paper workload failed: %s\n",
+                   paper.status().message().c_str());
+      return 1;
+    }
+    harness::SolvePolicy policy;
+    policy.seed = 7;
+    harness::QuantumMqoOptions solve_options;
+    solve_options.device.num_reads = full ? 200 : 50;
+    solve_options.device.num_gauges = 5;
+    solve_options.device.sa_sweeps = 64;
+    solve_options.device.num_threads = 4;
+    solve_options.device.executor = &pool;
+    Stopwatch clock;
+    solve_report = harness::ResilientSolver(policy).Solve(
+        paper->problem, paper->embedding, chip, solve_options);
+    resilient_wall_ms = clock.ElapsedMillis();
+    if (!solve_report.ok) {
+      std::fprintf(stderr, "resilient solve failed: %s\n",
+                   solve_report.FailureChain().c_str());
+      return 1;
+    }
+    std::printf(
+        "resilient solve: backend=%s wall=%.1f ms cost=%.1f faults=%lld "
+        "retries=%d fallbacks=%d\n",
+        harness::SolveBackendName(solve_report.backend), resilient_wall_ms,
+        solve_report.cost,
+        static_cast<long long>(solve_report.faults_observed),
+        solve_report.retries, solve_report.fallbacks);
+  }
+
   // Pool-reuse gate: every parallel run above must have executed on the
   // one pool created before the timed section.
   const int64_t workers_spawned_during_runs =
@@ -381,6 +428,13 @@ int main() {
       .Add("unpacked_bytes_per_sample", unpacked_bytes_per_sample)
       .Add("packed_memory_reduction", packed_memory_reduction)
       .Add("peak_rss_kb", peak_rss_kb)
+      .Add("resilient_backend",
+           std::string(harness::SolveBackendName(solve_report.backend)))
+      .Add("resilient_wall_ms", resilient_wall_ms)
+      .Add("injected_faults",
+           static_cast<int64_t>(solve_report.faults_observed))
+      .Add("solver_retries", solve_report.retries)
+      .Add("solver_fallbacks", solve_report.fallbacks)
       .Add("executor_pool_size", pool.num_threads())
       .Add("workers_spawned_during_runs",
            static_cast<int64_t>(workers_spawned_during_runs))

@@ -6,6 +6,14 @@ Usage:
                   [--metric NAME]
 
 Exits nonzero when
+  * a top-level field present in one artifact is missing from the other
+    (field parity, both directions: a baseline field missing from the
+    fresh artifact means the bench silently stopped emitting a
+    measurement; a fresh field missing from the baseline means the
+    committed baseline needs a refresh to pin the new coverage),
+  * the fresh artifact reports nonzero injected_faults / solver_retries /
+    solver_fallbacks (the default bench run must stay on the fault-free
+    hot path),
   * any (engine, threads) row present in the baseline is missing from the
     fresh artifact (coverage regression),
   * any row's throughput metric (default: sweep_spins_per_sec) regressed
@@ -73,6 +81,34 @@ def main():
     baseline_rows = rows_by_key(baseline)
 
     failures = []
+
+    # Top-level field parity, both directions. Machine-dependent *values*
+    # are fine (throughput gates have their own tolerance below); what may
+    # never drift silently is which measurements exist at all.
+    fresh_keys = set(fresh)
+    baseline_keys = set(baseline)
+    for key in sorted(baseline_keys - fresh_keys):
+        failures.append(
+            f"top-level field '{key}' exists in the baseline "
+            f"({args.baseline}) but is missing from the fresh artifact "
+            f"({args.fresh}): the bench stopped emitting it, or the wrong "
+            "artifact was diffed")
+    for key in sorted(fresh_keys - baseline_keys):
+        failures.append(
+            f"top-level field '{key}' is emitted by the bench but absent "
+            f"from the baseline ({args.baseline}): refresh the committed "
+            "baseline to pin the new measurement")
+
+    # Fault-free hot path: the default bench run arms no fault injector,
+    # so its resilience counters must be exactly zero. Nonzero means fault
+    # machinery leaked into the no-fault path (or a retry/fallback fired
+    # on a healthy run) — a correctness bug, not a perf regression.
+    for field in ("injected_faults", "solver_retries", "solver_fallbacks"):
+        value = fresh.get(field)
+        if isinstance(value, (int, float)) and value != 0:
+            failures.append(
+                f"fresh artifact reports {field}={value}; the default "
+                "bench run must stay on the fault-free hot path")
 
     if fresh.get("all_identical_to_serial") is False:
         failures.append("fresh artifact reports a parallel-vs-serial "

@@ -6,11 +6,34 @@
 
 #include "anneal/gauge.h"
 #include "anneal/parallel.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace qmqo {
 namespace anneal {
 namespace {
+
+// Fault sites of the device model (see DWaveOptions::faults for keys).
+constexpr char kFaultProgram[] = "device.program";
+constexpr char kFaultLatency[] = "device.latency";
+constexpr char kFaultReadDropout[] = "device.read_dropout";
+constexpr char kFaultStuckQubit[] = "device.stuck_qubit";
+constexpr char kFaultChainBreak[] = "device.chain_break";
+
+/// Per-read fault key: chronological read index within the call, shifted
+/// into the epoch's band so retries (epoch + 1) draw fresh decisions while
+/// epoch 0 keeps small keys for `fail_first` schedules.
+uint64_t ReadFaultKey(uint64_t epoch, int read_index) {
+  return (epoch << 32) | static_cast<uint64_t>(read_index);
+}
+
+/// Per-programming-cycle fault key: consecutive across epochs, so
+/// "fail the first N programming cycles" spans retry attempts.
+uint64_t CycleFaultKey(uint64_t epoch, int num_gauges, int gauge) {
+  return epoch * static_cast<uint64_t>(num_gauges) +
+         static_cast<uint64_t>(gauge);
+}
 
 /// Auto-scale factor fitting the Ising problem into the hardware range.
 double ScaleFactor(const qubo::IsingProblem& ising, double h_range,
@@ -51,6 +74,32 @@ qubo::IsingProblem ScaleAndPerturb(const qubo::IsingProblem& ising,
   return out;
 }
 
+/// Read-level fault payloads, applied to the gauge-restored spins: stuck
+/// qubits report their forced value on every read; a fired chain-break
+/// flips `intensity` deterministically chosen spins (hash of the read key,
+/// distinct per flip), corrupting chains downstream.
+void ApplyReadFaults(const util::FaultInjector* faults,
+                     const std::vector<int8_t>& stuck, bool any_stuck,
+                     bool corrupt, uint64_t read_key,
+                     std::vector<int8_t>* spins) {
+  if (any_stuck) {
+    for (size_t q = 0; q < spins->size(); ++q) {
+      if (stuck[q] != 0) (*spins)[q] = stuck[q];
+    }
+  }
+  if (corrupt) {
+    const int n = static_cast<int>(spins->size());
+    const int flips = std::max(1, faults->Intensity(kFaultChainBreak));
+    for (int f = 0; f < flips; ++f) {
+      uint64_t bits = faults->HashAt(
+          kFaultChainBreak, read_key * 131 + static_cast<uint64_t>(f));
+      int idx = static_cast<int>(bits % static_cast<uint64_t>(n));
+      (*spins)[static_cast<size_t>(idx)] =
+          static_cast<int8_t>(-(*spins)[static_cast<size_t>(idx)]);
+    }
+  }
+}
+
 }  // namespace
 
 Result<DeviceResult> DWaveSimulator::Sample(
@@ -67,11 +116,39 @@ Result<DeviceResult> DWaveSimulator::Sample(
   Stopwatch wall;
   qubo::IsingWithOffset converted = qubo::QuboToIsing(physical);
   physical.Finalize();  // shared read-only across worker threads
+  const int num_spins = converted.ising.num_spins();
   const double scale =
       ScaleFactor(converted.ising, options_.h_range, options_.j_range);
 
+  // Disarmed injectors cost exactly this one test on the whole call.
+  const util::FaultInjector* faults =
+      options_.faults != nullptr && options_.faults->armed() ? options_.faults
+                                                             : nullptr;
+  const uint64_t epoch = options_.fault_epoch;
+  const int64_t faults_before = faults != nullptr ? faults->faults_injected() : 0;
+
+  // Stuck/dead qubits are a property of the chip, decided once per call and
+  // keyed by the physical variable alone (epoch-independent: a dead qubit
+  // stays dead across retries). The forced spin value derives from payload
+  // hash bits.
+  std::vector<int8_t> stuck;
+  bool any_stuck = false;
+  if (faults != nullptr) {
+    stuck.assign(static_cast<size_t>(num_spins), 0);
+    for (int q = 0; q < num_spins; ++q) {
+      if (faults->ShouldFail(kFaultStuckQubit, static_cast<uint64_t>(q))) {
+        stuck[static_cast<size_t>(q)] =
+            (faults->HashAt(kFaultStuckQubit, static_cast<uint64_t>(q)) & 1u)
+                ? int8_t{1}
+                : int8_t{-1};
+        any_stuck = true;
+      }
+    }
+  }
+
   DeviceResult result;
   result.samples.set_max_samples(options_.max_samples);
+  if (options_.record_reads) result.raw_reads.Reset(num_spins);
   Rng rng(options_.seed);
   // One pool for every gauge (and the SQA backend): RunReads maps a null
   // executor to the shared singleton, so no gauge ever spawns threads.
@@ -79,11 +156,42 @@ Result<DeviceResult> DWaveSimulator::Sample(
   const int reads_per_gauge =
       std::max(1, options_.num_reads / options_.num_gauges);
   int reads_left = options_.num_reads;
+  int read_base = 0;
 
   for (int g = 0; g < options_.num_gauges && reads_left > 0; ++g) {
     int reads = std::min(reads_per_gauge, reads_left);
     if (g + 1 == options_.num_gauges) reads = reads_left;
     reads_left -= reads;
+
+    if (faults != nullptr) {
+      const uint64_t cycle_key = CycleFaultKey(epoch, options_.num_gauges, g);
+      if (faults->ShouldFail(kFaultLatency, cycle_key)) {
+        result.injected_latency_ms += faults->LatencyMillis(kFaultLatency);
+      }
+      if (faults->ShouldFail(kFaultProgram, cycle_key)) {
+        return Status::Internal(StrFormat(
+            "injected programming-cycle failure (gauge %d, epoch %llu)", g,
+            static_cast<unsigned long long>(epoch)));
+      }
+    }
+
+    // Per-read fault masks, decided serially before the read fan-out so the
+    // parallel engine only reads them: bit-identical at any thread count.
+    std::vector<uint8_t> drop_mask;
+    std::vector<uint8_t> corrupt_mask;
+    if (faults != nullptr) {
+      drop_mask.assign(static_cast<size_t>(reads), 0);
+      corrupt_mask.assign(static_cast<size_t>(reads), 0);
+      for (int r = 0; r < reads; ++r) {
+        const uint64_t key = ReadFaultKey(epoch, read_base + r);
+        if (faults->ShouldFail(kFaultReadDropout, key)) {
+          drop_mask[static_cast<size_t>(r)] = 1;
+          ++result.dropped_reads;
+        } else if (faults->ShouldFail(kFaultChainBreak, key)) {
+          corrupt_mask[static_cast<size_t>(r)] = 1;
+        }
+      }
+    }
 
     Rng gauge_rng = rng.Fork(static_cast<uint64_t>(g) * 2 + 1);
     GaugeTransform gauge =
@@ -110,11 +218,16 @@ Result<DeviceResult> DWaveSimulator::Sample(
       // Per-read slots keep `raw_reads` chronological regardless of which
       // worker executes a read: the arena is sized up front, so workers
       // pack their own disjoint word ranges with no append racing them.
+      // Dropped reads leave zero slots that the serial compaction below
+      // skips.
       PackedAssignments gauge_raw(converted.ising.num_spins());
       if (options_.record_reads) gauge_raw.Resize(reads);
       SampleSet gauge_samples = RunReads(
           reads, options_.num_threads,
           [&, beta](int read, SampleSet* local) {
+            if (!drop_mask.empty() && drop_mask[static_cast<size_t>(read)]) {
+              return;  // read lost at the (simulated) readout stage
+            }
             Rng read_rng = gauge_rng.Fork(static_cast<uint64_t>(read));
             std::vector<int8_t> spins(
                 static_cast<size_t>(programmed.num_spins()));
@@ -122,6 +235,13 @@ Result<DeviceResult> DWaveSimulator::Sample(
             RunSweeps(programmed, plan_ptr, beta, options_.sa_sweeps,
                       options_.sweep_kernel, &read_rng, &spins);
             std::vector<int8_t> restored = gauge.RestoreSpins(spins);
+            if (faults != nullptr) {
+              ApplyReadFaults(
+                  faults, stuck, any_stuck,
+                  !corrupt_mask.empty() &&
+                      corrupt_mask[static_cast<size_t>(read)] != 0,
+                  ReadFaultKey(epoch, read_base + read), &restored);
+            }
             // True energy on the customer's problem, not the noisy one.
             double energy = physical.EnergySpins(restored);
             if (options_.record_reads) {
@@ -131,7 +251,17 @@ Result<DeviceResult> DWaveSimulator::Sample(
           },
           executor, options_.max_samples);
       result.samples.Append(std::move(gauge_samples));
-      if (options_.record_reads) result.raw_reads.AppendAll(gauge_raw);
+      if (options_.record_reads) {
+        if (drop_mask.empty()) {
+          result.raw_reads.AppendAll(gauge_raw);
+        } else {
+          for (int r = 0; r < reads; ++r) {
+            if (!drop_mask[static_cast<size_t>(r)]) {
+              result.raw_reads.AppendFrom(gauge_raw, r);
+            }
+          }
+        }
+      }
     } else {
       SqaOptions sqa_options = options_.sqa;
       sqa_options.num_reads = reads;
@@ -143,21 +273,49 @@ Result<DeviceResult> DWaveSimulator::Sample(
       SimulatedQuantumAnnealer sqa(sqa_options);
       SampleSet gauge_samples = sqa.SampleIsing(programmed);
       std::vector<int8_t> spins;
+      int local_read = 0;
       for (const anneal::Sample& sample : gauge_samples.samples()) {
         sample.assignment.CopySpinsTo(&spins);
         std::vector<int8_t> restored = gauge.RestoreSpins(spins);
-        double energy = physical.EnergySpins(restored);
         for (int k = 0; k < sample.num_occurrences; ++k) {
-          if (options_.record_reads) result.raw_reads.AppendSpins(restored);
-          result.samples.AddSpins(restored, energy);
+          const int read = local_read++;
+          if (!drop_mask.empty() && drop_mask[static_cast<size_t>(read)]) {
+            continue;
+          }
+          if (faults != nullptr) {
+            std::vector<int8_t> faulted = restored;
+            ApplyReadFaults(
+                faults, stuck, any_stuck,
+                !corrupt_mask.empty() &&
+                    corrupt_mask[static_cast<size_t>(read)] != 0,
+                ReadFaultKey(epoch, read_base + read), &faulted);
+            double energy = physical.EnergySpins(faulted);
+            if (options_.record_reads) result.raw_reads.AppendSpins(faulted);
+            result.samples.AddSpins(faulted, energy);
+          } else {
+            double energy = physical.EnergySpins(restored);
+            if (options_.record_reads) result.raw_reads.AppendSpins(restored);
+            result.samples.AddSpins(restored, energy);
+          }
         }
       }
     }
+    read_base += reads;
+  }
+  if (result.samples.samples().empty()) {
+    // Every read dropped: nothing to report. Surfaced as a typed error so
+    // orchestrators retry instead of consuming an empty result.
+    return Status::ResourceExhausted(StrFormat(
+        "device call lost all %d reads to injected dropout",
+        options_.num_reads));
   }
   result.samples.Finalize();
   result.device_time_us = DeviceTimeForReads(options_.num_reads);
   result.wall_clock_ms = wall.ElapsedMillis();
   result.scale_factor = scale;
+  if (faults != nullptr) {
+    result.faults_injected = faults->faults_injected() - faults_before;
+  }
   return result;
 }
 

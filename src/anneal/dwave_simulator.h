@@ -34,6 +34,7 @@
 namespace qmqo {
 namespace util {
 class Executor;
+class FaultInjector;
 }  // namespace util
 
 namespace anneal {
@@ -91,6 +92,29 @@ struct DWaveOptions {
   /// applied per gauge and to the final union; `raw_reads` is unaffected.
   /// See SaOptions::max_samples.
   int max_samples = 0;
+  /// Fault injection (never owned; null = no faults, one pointer test on
+  /// the hot path). Sites queried by the device model:
+  ///   "device.program"      per programming cycle (key: epoch x gauges +
+  ///                         gauge) — the whole call fails with an error;
+  ///   "device.latency"      per programming cycle (same key) — adds the
+  ///                         spec's latency_ms to `injected_latency_ms`;
+  ///   "device.read_dropout" per read (key: epoch << 32 | chronological
+  ///                         read index) — the read is lost: absent from
+  ///                         `samples` and `raw_reads`;
+  ///   "device.stuck_qubit"  per physical variable (key: compact index;
+  ///                         epoch-independent — dead qubits stay dead) —
+  ///                         every read reports the stuck value there;
+  ///   "device.chain_break"  per read (key as read_dropout) — `intensity`
+  ///                         deterministically chosen spins are flipped
+  ///                         after annealing, forcing broken chains.
+  /// Decisions are pure in (injector seed, site, key): results stay
+  /// bit-identical at any thread count with faults armed.
+  const util::FaultInjector* faults = nullptr;
+  /// Epoch mixed into per-cycle/per-read fault keys, so an orchestrator
+  /// retrying a call (fresh gauges) draws fresh fault decisions. Keyed
+  /// schedules ("fail the first N cycles") span epochs when the caller
+  /// increments this by 1 per attempt.
+  uint64_t fault_epoch = 0;
 };
 
 /// Result of one device call.
@@ -110,6 +134,13 @@ struct DeviceResult {
   double wall_clock_ms = 0.0;
   /// Factor the weights were multiplied by to fit the hardware range.
   double scale_factor = 1.0;
+  /// Faults fired inside this call (0 without an armed injector).
+  int64_t faults_injected = 0;
+  /// Reads lost to injected read dropout.
+  int dropped_reads = 0;
+  /// Modeled latency injected by "device.latency" faults, milliseconds
+  /// (not included in `device_time_us`; callers charge it to deadlines).
+  double injected_latency_ms = 0.0;
 };
 
 /// The device façade.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <deque>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace qmqo {
@@ -18,6 +19,10 @@ Result<EmbeddedQubo> EmbeddedQubo::Create(const qubo::QuboProblem& logical,
   }
   if (options.chain_strength_scale < 0.0) {
     return Status::InvalidArgument("chain_strength_scale must be >= 0");
+  }
+  if (options.faults != nullptr) {
+    QMQO_RETURN_IF_ERROR(
+        options.faults->MaybeFail("embed.compile", options.fault_key));
   }
   QMQO_RETURN_IF_ERROR(embedding.VerifyForProblem(graph, logical));
 
@@ -73,9 +78,14 @@ Result<EmbeddedQubo> EmbeddedQubo::Create(const qubo::QuboProblem& logical,
       }
       if (placed) break;
     }
-    // VerifyForProblem guarantees a coupler exists.
-    assert(placed);
-    (void)placed;
+    if (!placed) {
+      // VerifyForProblem guarantees a coupler exists, so reaching this
+      // means the embedding or graph changed underneath us (or a defect
+      // map diverged); surface it as a typed error instead of aborting.
+      return Status::Internal(StrFormat(
+          "no usable coupler joins the chains of variables %d and %d",
+          term.i, term.j));
+    }
   }
 
   // Chain strengths via Choi's bound, computed *before* the equality
@@ -140,9 +150,14 @@ Result<EmbeddedQubo> EmbeddedQubo::Create(const qubo::QuboProblem& logical,
         ++edges;
       }
     }
-    // Verified connected by VerifyForProblem.
-    assert(edges == chain.size() - 1);
-    (void)edges;
+    if (edges != chain.size() - 1) {
+      // Verified connected by VerifyForProblem; a mismatch means the
+      // coupler map changed between verification and compilation.
+      return Status::Internal(StrFormat(
+          "chain of variable %d is not connected over usable couplers "
+          "(%d spanning edges for %d qubits)",
+          var, edges, static_cast<int>(chain.size())));
+    }
   }
   return out;
 }

@@ -37,6 +37,10 @@
 #include "util/status.h"
 
 namespace qmqo {
+namespace util {
+class FaultInjector;
+}  // namespace util
+
 namespace embedding {
 
 /// Tunables of the physical mapping.
@@ -49,6 +53,13 @@ struct EmbeddedQuboOptions {
   /// Use one global strength (the max over chains) instead of per-chain
   /// strengths (ablation).
   bool uniform_chain_strength = false;
+  /// Fault injection (never owned; null = no faults). Site
+  /// "embed.compile" (key: `fault_key`) fails `Create` with a typed error —
+  /// the hook the chaos suite uses to exercise preprocessing failures.
+  const util::FaultInjector* faults = nullptr;
+  /// Key passed to the "embed.compile" site; orchestrators set it to the
+  /// attempt number so fail-first-N schedules apply across retries.
+  uint64_t fault_key = 0;
 };
 
 /// A compiled physical QUBO with chain bookkeeping.

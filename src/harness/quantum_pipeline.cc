@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace qmqo {
@@ -12,27 +13,43 @@ Result<QuantumMqoResult> SolveQuantumMqo(const mqo::MqoProblem& problem,
                                          const chimera::ChimeraGraph& graph,
                                          const QuantumMqoOptions& options) {
   QuantumMqoResult result;
+  if (options.faults != nullptr) {
+    QMQO_RETURN_IF_ERROR(
+        options.faults->MaybeFail("pipeline.solve", options.fault_attempt));
+  }
 
   // Preprocessing on the "classical computer": logical + physical mapping.
   Stopwatch preprocessing;
   QMQO_ASSIGN_OR_RETURN(
       mapping::LogicalMapping logical,
       mapping::LogicalMapping::Create(problem, options.logical));
+  embedding::EmbeddedQuboOptions physical_options = options.physical;
+  if (options.faults != nullptr && physical_options.faults == nullptr) {
+    physical_options.faults = options.faults;
+    physical_options.fault_key = options.fault_attempt;
+  }
   QMQO_ASSIGN_OR_RETURN(embedding::EmbeddedQubo physical,
                         embedding::EmbeddedQubo::Create(
                             logical.qubo(), embedding, graph,
-                            options.physical));
+                            physical_options));
   result.preprocessing_ms = preprocessing.ElapsedMillis();
   result.physical_qubits = physical.num_physical_vars();
 
   // Annealing on the (simulated) device, with chronological reads.
   anneal::DWaveOptions device_options = options.device;
   device_options.record_reads = true;
+  if (options.faults != nullptr && device_options.faults == nullptr) {
+    device_options.faults = options.faults;
+    device_options.fault_epoch = options.fault_attempt;
+  }
   anneal::DWaveSimulator device(device_options);
   QMQO_ASSIGN_OR_RETURN(anneal::DeviceResult device_result,
                         device.Sample(physical.physical()));
   result.device_time_us = device_result.device_time_us;
   result.simulator_wall_ms = device_result.wall_clock_ms;
+  result.faults_injected = device_result.faults_injected;
+  result.dropped_reads = device_result.dropped_reads;
+  result.injected_latency_ms = device_result.injected_latency_ms;
 
   // Read-out: unembed each read in order, repair to a valid selection,
   // track the best cost on the modeled device-time axis.

@@ -25,6 +25,10 @@
 #include "util/status.h"
 
 namespace qmqo {
+namespace util {
+class FaultInjector;
+}  // namespace util
+
 namespace harness {
 
 /// Options of the full pipeline.
@@ -38,6 +42,15 @@ struct QuantumMqoOptions {
   /// classical time per read, which is NOT charged to the modeled device
   /// time — the same accounting the paper uses for its read-outs.
   bool postprocess_swap_descent = true;
+  /// Fault injection for the whole solve path (never owned; null = no
+  /// faults). Site "pipeline.solve" (key: `fault_attempt`) fails the call
+  /// at entry; the injector also propagates into `physical.faults` and
+  /// `device.faults` when those are unset, with `fault_attempt` as the
+  /// embed key / device fault epoch — one injector covers every stage.
+  const util::FaultInjector* faults = nullptr;
+  /// Attempt number used as the fault key/epoch; orchestrators increment
+  /// it per retry so retries draw fresh fault decisions.
+  uint64_t fault_attempt = 0;
 };
 
 /// Everything Algorithm 1 produces, plus the paper's measurements.
@@ -62,6 +75,12 @@ struct QuantumMqoResult {
   double valid_read_fraction = 0.0;
   /// Physical qubits used.
   int physical_qubits = 0;
+  /// Fault diagnostics (all zero without an armed injector): faults fired
+  /// inside the device call, reads lost to injected dropout, and modeled
+  /// device latency injected (milliseconds; charge it to deadlines).
+  int64_t faults_injected = 0;
+  int dropped_reads = 0;
+  double injected_latency_ms = 0.0;
 };
 
 /// Runs Algorithm 1 with a caller-provided embedding of the plan variables

@@ -1,0 +1,333 @@
+#include "harness/resilient_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+#include "anneal/sample_set.h"
+#include "anneal/simulated_annealer.h"
+#include "anneal/sqa.h"
+#include "baselines/greedy.h"
+#include "mapping/logical_mapping.h"
+#include "util/deadline.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace harness {
+namespace {
+
+// Orchestrator-level fault site of each backend ladder rung.
+const char* FaultSiteOf(SolveBackend backend) {
+  switch (backend) {
+    case SolveBackend::kDevice:
+      return "solve.device";
+    case SolveBackend::kSqa:
+      return "solve.sqa";
+    case SolveBackend::kSa:
+      return "solve.sa";
+    case SolveBackend::kGreedy:
+      return "solve.greedy";
+  }
+  return "solve.unknown";
+}
+
+// What one attempt produced. `modeled_ms` is the simulated-latency debit
+// the orchestrator charges to the deadline (injected device latency; the
+// backoff that may follow is added by the caller).
+struct AttemptOutcome {
+  Status status;
+  mqo::MqoSolution solution{0};
+  double cost = 0.0;
+  double modeled_ms = 0.0;
+  double broken_chain_fraction = 0.0;
+};
+
+// Refines a read-out into a final answer the way every backend does:
+// swap descent, then exact cost.
+void FinishSolution(const mqo::MqoProblem& problem, mqo::MqoSolution solution,
+                    AttemptOutcome* out) {
+  mqo::SwapDescent(problem, &solution);
+  out->cost = mqo::EvaluateCost(problem, solution);
+  out->solution = std::move(solution);
+  out->status = Status::OK();
+}
+
+}  // namespace
+
+const char* SolveBackendName(SolveBackend backend) {
+  switch (backend) {
+    case SolveBackend::kDevice:
+      return "device";
+    case SolveBackend::kSqa:
+      return "sqa";
+    case SolveBackend::kSa:
+      return "sa";
+    case SolveBackend::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+std::string SolveReport::FailureChain() const {
+  std::string chain;
+  for (const SolveAttempt& a : attempts) {
+    if (!chain.empty()) chain += " -> ";
+    chain += StrFormat("%s#%d: ", SolveBackendName(a.backend), a.attempt);
+    if (a.status.ok()) {
+      chain += StrFormat("OK (cost %g)", a.cost);
+    } else {
+      chain += a.status.ToString();
+    }
+  }
+  return chain;
+}
+
+SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
+                                   const embedding::Embedding& embedding,
+                                   const chimera::ChimeraGraph& graph,
+                                   const QuantumMqoOptions& options) const {
+  SolveReport report;
+  Stopwatch total;
+  util::Deadline deadline = policy_.deadline_ms > 0.0
+                                ? util::Deadline::AfterMillis(policy_.deadline_ms)
+                                : util::Deadline::Infinite();
+  // Jitter draws happen only after deterministic failures, so the stream
+  // stays reproducible for equal (seed, faults, policy).
+  Rng jitter_rng = Rng(policy_.seed).Fork(0xbac0ffULL);
+  const int max_attempts = std::max(1, policy_.max_attempts_per_backend);
+
+  // The degraded samplers run on the logical QUBO — built once, shared by
+  // every SQA/SA attempt. The device path builds its own inside the
+  // pipeline; greedy needs none.
+  std::optional<mapping::LogicalMapping> logical;
+  Status logical_status;
+  {
+    Result<mapping::LogicalMapping> built =
+        mapping::LogicalMapping::Create(problem, options.logical);
+    if (built.ok()) {
+      logical.emplace(std::move(built).value());
+    } else {
+      logical_status = built.status();
+    }
+  }
+
+  auto run_attempt = [&](SolveBackend backend, int attempt) -> AttemptOutcome {
+    AttemptOutcome out;
+    // The orchestrator's own fault point: force a whole rung down.
+    if (policy_.faults != nullptr) {
+      const char* site = FaultSiteOf(backend);
+      uint64_t key = static_cast<uint64_t>(attempt - 1);
+      Status injected = policy_.faults->MaybeFail(site, key);
+      if (!injected.ok()) {
+        out.status = std::move(injected);
+        out.modeled_ms = policy_.faults->LatencyMillis(site);
+        return out;
+      }
+    }
+    switch (backend) {
+      case SolveBackend::kDevice: {
+        QuantumMqoOptions attempt_options = options;
+        if (policy_.faults != nullptr && attempt_options.faults == nullptr) {
+          attempt_options.faults = policy_.faults;
+        }
+        attempt_options.fault_attempt = static_cast<uint64_t>(attempt - 1);
+        if (attempt > 1) {
+          // Fresh gauges per retry: refork the caller's device seed so a
+          // chain-break storm is not replayed verbatim. Attempt 1 keeps the
+          // caller's seed — a no-fault solve reproduces the plain pipeline.
+          attempt_options.device.seed =
+              Rng(options.device.seed)
+                  .Fork(static_cast<uint64_t>(attempt))
+                  .Next();
+        }
+        const int64_t latency_fires_before =
+            policy_.faults != nullptr
+                ? policy_.faults->FaultCount("device.latency")
+                : 0;
+        Result<QuantumMqoResult> solved =
+            SolveQuantumMqo(problem, embedding, graph, attempt_options);
+        if (!solved.ok()) {
+          out.status = solved.status();
+          // A failed device call still burned its injected latency; the
+          // result payload is gone, so recover the charge from the fault
+          // counters (each firing costs the spec's latency_ms).
+          if (policy_.faults != nullptr) {
+            out.modeled_ms =
+                static_cast<double>(
+                    policy_.faults->FaultCount("device.latency") -
+                    latency_fires_before) *
+                policy_.faults->LatencyMillis("device.latency");
+          }
+          return out;
+        }
+        out.modeled_ms = solved->injected_latency_ms;
+        out.broken_chain_fraction = solved->broken_chain_read_fraction;
+        out.cost = solved->best_cost;
+        out.solution = solved->best_solution;
+        out.status = Status::OK();
+        return out;
+      }
+      case SolveBackend::kSqa: {
+        if (!logical.has_value()) {
+          out.status = logical_status;
+          return out;
+        }
+        anneal::SqaOptions sqa;
+        sqa.num_reads = policy_.sqa_reads;
+        sqa.num_slices = policy_.sqa_slices;
+        sqa.sweeps = policy_.sqa_sweeps;
+        sqa.seed =
+            Rng(policy_.seed).Fork(0x50aULL + static_cast<uint64_t>(attempt))
+                .Next();
+        sqa.num_threads = options.device.num_threads;
+        sqa.executor = options.device.executor;
+        sqa.sweep_kernel = options.device.sweep_kernel;
+        anneal::SampleSet set =
+            anneal::SimulatedQuantumAnnealer(sqa).Sample(logical->qubo());
+        if (set.empty()) {
+          out.status = Status::Internal("SQA backend returned no samples");
+          return out;
+        }
+        std::vector<uint8_t> bytes;
+        set.best().assignment.CopyBytesTo(&bytes);
+        FinishSolution(problem, logical->RepairedSolution(bytes), &out);
+        return out;
+      }
+      case SolveBackend::kSa: {
+        if (!logical.has_value()) {
+          out.status = logical_status;
+          return out;
+        }
+        anneal::SaOptions sa;
+        sa.num_reads = policy_.sa_reads;
+        sa.sweeps_per_read = policy_.sa_sweeps;
+        sa.seed =
+            Rng(policy_.seed).Fork(0x5aULL + static_cast<uint64_t>(attempt))
+                .Next();
+        sa.num_threads = options.device.num_threads;
+        sa.executor = options.device.executor;
+        sa.sweep_kernel = options.device.sweep_kernel;
+        anneal::SampleSet set =
+            anneal::SimulatedAnnealer(sa).Sample(logical->qubo());
+        if (set.empty()) {
+          out.status = Status::Internal("SA backend returned no samples");
+          return out;
+        }
+        std::vector<uint8_t> bytes;
+        set.best().assignment.CopyBytesTo(&bytes);
+        FinishSolution(problem, logical->RepairedSolution(bytes), &out);
+        return out;
+      }
+      case SolveBackend::kGreedy: {
+        FinishSolution(problem, baselines::GreedySolver::Construct(problem),
+                       &out);
+        return out;
+      }
+    }
+    out.status = Status::Internal("unknown backend");
+    return out;
+  };
+
+  Status last_error = Status::Internal("empty backend ladder");
+  int backends_tried = 0;
+  for (size_t rung = 0; rung < policy_.ladder.size() && !report.ok; ++rung) {
+    const SolveBackend backend = policy_.ladder[rung];
+    const bool last_resort = rung + 1 == policy_.ladder.size();
+    bool tried = false;
+    for (int attempt = 1; attempt <= max_attempts && !report.ok; ++attempt) {
+      // The last resort always runs: a valid (cheap) answer beats honoring
+      // an already-blown budget with no answer at all.
+      if (deadline.expired() && !last_resort) {
+        report.deadline_exhausted = true;
+        break;
+      }
+      tried = true;
+
+      SolveAttempt rec;
+      rec.backend = backend;
+      rec.attempt = attempt;
+      const int64_t faults_before =
+          policy_.faults != nullptr ? policy_.faults->faults_injected() : 0;
+      Stopwatch attempt_clock;
+      AttemptOutcome out = run_attempt(backend, attempt);
+      rec.wall_ms = attempt_clock.ElapsedMillis();
+      rec.modeled_ms = out.modeled_ms;
+      deadline.Charge(out.modeled_ms);
+      rec.broken_chain_fraction = out.broken_chain_fraction;
+      rec.status = std::move(out.status);
+      rec.faults_observed =
+          (policy_.faults != nullptr ? policy_.faults->faults_injected() : 0) -
+          faults_before;
+      report.faults_observed += rec.faults_observed;
+      ++report.total_attempts;
+
+      if (rec.status.ok() && policy_.attempt_timeout_ms > 0.0 &&
+          rec.wall_ms + rec.modeled_ms > policy_.attempt_timeout_ms) {
+        rec.status = Status::Timeout(StrFormat(
+            "%s attempt %d took %.1f ms (%.1f wall + %.1f modeled), over "
+            "the %.1f ms per-attempt budget",
+            SolveBackendName(backend), attempt, rec.wall_ms + rec.modeled_ms,
+            rec.wall_ms, rec.modeled_ms, policy_.attempt_timeout_ms));
+      }
+      if (rec.status.ok() && backend == SolveBackend::kDevice &&
+          policy_.chain_break_storm_fraction > 0.0 &&
+          rec.broken_chain_fraction >= policy_.chain_break_storm_fraction) {
+        rec.status = Status::Internal(StrFormat(
+            "chain-break storm: %.0f%% of reads broke chains "
+            "(threshold %.0f%%)",
+            100.0 * rec.broken_chain_fraction,
+            100.0 * policy_.chain_break_storm_fraction));
+      }
+
+      if (rec.status.ok()) {
+        rec.cost = out.cost;
+        report.ok = true;
+        report.backend = backend;
+        report.solution = std::move(out.solution);
+        report.cost = out.cost;
+        report.final_status = Status::OK();
+        report.fallbacks = static_cast<int>(rung);
+        report.attempts.push_back(std::move(rec));
+        break;
+      }
+
+      last_error = rec.status;
+      if (attempt < max_attempts && policy_.backoff_initial_ms > 0.0) {
+        double backoff =
+            policy_.backoff_initial_ms *
+            std::pow(policy_.backoff_multiplier, attempt - 1);
+        if (policy_.backoff_jitter > 0.0) {
+          backoff *= 1.0 + jitter_rng.UniformReal(-policy_.backoff_jitter,
+                                                  policy_.backoff_jitter);
+        }
+        backoff = std::max(0.0, backoff);
+        // Waiting longer than the remaining budget cannot help; degrade
+        // instead of burning the deadline on a sleep.
+        if (backoff < deadline.RemainingMillis()) {
+          rec.backoff_ms = backoff;
+          rec.modeled_ms += backoff;
+          deadline.Charge(backoff);
+          if (policy_.sleep_on_backoff) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff));
+          }
+        }
+      }
+      report.attempts.push_back(std::move(rec));
+    }
+    if (tried) ++backends_tried;
+  }
+
+  report.retries = report.total_attempts - backends_tried;
+  if (!report.ok) report.final_status = last_error;
+  report.total_wall_ms = total.ElapsedMillis();
+  report.total_modeled_ms = deadline.charged_millis();
+  return report;
+}
+
+}  // namespace harness
+}  // namespace qmqo

@@ -1,0 +1,87 @@
+#ifndef QMQO_UTIL_DEADLINE_H_
+#define QMQO_UTIL_DEADLINE_H_
+
+/// \file deadline.h
+/// Wall-clock deadlines for the resilient solve orchestrator.
+///
+/// A `Deadline` is a fixed point on the monotonic clock; components that
+/// accept one check `expired()` between units of work and use
+/// `remaining_millis()` to size retries and backoff sleeps. A
+/// default-constructed deadline never expires, so "no deadline" needs no
+/// separate code path.
+///
+/// Besides wall time, a deadline carries an optional *modeled* time debit
+/// (`Charge`): fault injection simulates device latency without sleeping,
+/// and the orchestrator charges those modeled milliseconds against the
+/// budget so deadline behavior is testable deterministically — a charged
+/// deadline expires exactly when wall + charged time exceeds the budget.
+
+#include <chrono>
+#include <limits>
+
+namespace qmqo {
+namespace util {
+
+/// A point in time the work must finish by (monotonic clock), plus a
+/// modeled-time debit for simulated latency.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `budget_ms` wall-clock milliseconds after now. Non-positive
+  /// budgets yield an already-expired deadline.
+  static Deadline AfterMillis(double budget_ms) {
+    Deadline d;
+    d.has_budget_ = true;
+    d.budget_ms_ = budget_ms;
+    d.start_ = Clock::now();
+    return d;
+  }
+
+  /// The infinite deadline, spelled out.
+  static Deadline Infinite() { return Deadline(); }
+
+  bool has_budget() const { return has_budget_; }
+
+  /// Wall milliseconds elapsed since the deadline was armed (0 for the
+  /// infinite deadline), plus any modeled charge.
+  double ElapsedMillis() const {
+    if (!has_budget_) return charged_ms_;
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - start_);
+    return static_cast<double>(elapsed.count()) / 1000.0 + charged_ms_;
+  }
+
+  /// Milliseconds left before expiry; +inf for the infinite deadline,
+  /// clamped at 0 once expired.
+  double RemainingMillis() const {
+    if (!has_budget_) return std::numeric_limits<double>::infinity();
+    double remaining = budget_ms_ - ElapsedMillis();
+    return remaining > 0.0 ? remaining : 0.0;
+  }
+
+  bool expired() const { return has_budget_ && RemainingMillis() <= 0.0; }
+
+  /// Debits `ms` of modeled time (simulated device latency, modeled
+  /// backoff) against the budget. No-op for the infinite deadline.
+  void Charge(double ms) {
+    if (ms > 0.0) charged_ms_ += ms;
+  }
+
+  /// Total modeled time charged so far.
+  double charged_millis() const { return charged_ms_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool has_budget_ = false;
+  double budget_ms_ = 0.0;
+  double charged_ms_ = 0.0;
+  Clock::time_point start_{};
+};
+
+}  // namespace util
+}  // namespace qmqo
+
+#endif  // QMQO_UTIL_DEADLINE_H_
