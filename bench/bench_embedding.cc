@@ -1,0 +1,529 @@
+// Embedding-pipeline benchmark: cold compile vs cached re-weight on a
+// paper-shape clustered workload (3 plans/query on the defective D-Wave 2X
+// chip — the 759-variable class of Table 1).
+//
+// Four paths are timed over the same set of re-weighted logical QUBOs:
+//   * uncached: EmbeddedQubo::Create on the CSR pipeline (no layout
+//               capture — what a cache-less pipeline pays per request),
+//   * cold:     Create + layout capture — the cache's miss path, the cost
+//               a hit replaces in the cache-enabled pipeline,
+//   * reweight: EmbeddingCache::GetOrCreate hits (structure hash + lookup
+//               + EmbeddedQubo::ReweightFrom replay),
+//   * legacy:   a verbatim replica of the seed's map-based cold path
+//               (per-qubit adjacency vectors, per-term double-scan coupler
+//               placement in both verification and compilation).
+//
+// The benchmark *fails* (exit 1) unless the cached re-weight and the
+// legacy compile are bit-identical to the fresh CSR compile — the cache's
+// whole contract is that downstream samples cannot tell the difference.
+// Results go to BENCH_embedding.json (cold/reweight/legacy ms, cache
+// speedup, CSR-vs-map speedup, amortized per-request cost); diff_bench.py
+// gates cache_speedup >= 10x and csr_vs_map_speedup >= 1x.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "chimera/topology.h"
+#include "embedding/embedded_qubo.h"
+#include "embedding/embedding.h"
+#include "embedding/embedding_cache.h"
+#include "harness/paper_workload.h"
+#include "mapping/logical_mapping.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace qmqo;
+using chimera::ChimeraGraph;
+using chimera::QubitId;
+
+// ----------------------------------------------------------------------
+// The seed's map-based cold path, replicated verbatim for comparison:
+// per-qubit adjacency vectors (the pre-CSR topology layout), per-term
+// double-scan coupler placement run twice (once inside VerifyForProblem,
+// once in the compile), hash-map accumulation throughout. Same arithmetic
+// order as the CSR pipeline, so the physical problem must be
+// bit-identical — only the walk order of memory (and the wall time)
+// differs.
+// ----------------------------------------------------------------------
+
+struct LegacyAdjacency {
+  std::vector<std::vector<QubitId>> rows;
+
+  explicit LegacyAdjacency(const ChimeraGraph& graph) {
+    rows.resize(static_cast<size_t>(graph.num_qubits()));
+    for (QubitId q = 0; q < graph.num_qubits(); ++q) {
+      for (QubitId n : graph.Neighbors(q)) {
+        rows[static_cast<size_t>(q)].push_back(n);
+      }
+    }
+  }
+
+  bool CouplerUsable(const ChimeraGraph& graph, QubitId a, QubitId b) const {
+    const auto& row = rows[static_cast<size_t>(a)];
+    return std::binary_search(row.begin(), row.end(), b) &&
+           graph.IsWorking(a) && graph.IsWorking(b);
+  }
+};
+
+Status LegacyVerifyForProblem(const embedding::Embedding& emb,
+                              const ChimeraGraph& graph,
+                              const LegacyAdjacency& adj,
+                              const qubo::QuboProblem& logical) {
+  // VerifyStructure, seed edition: ownership scan + BFS with a linear
+  // `seen` membership test per chain.
+  std::vector<int> owner(static_cast<size_t>(graph.num_qubits()), -1);
+  for (int var = 0; var < emb.num_vars(); ++var) {
+    const embedding::Chain& chain = emb.chain(var);
+    if (chain.qubits.empty()) {
+      return Status::FailedPrecondition("empty chain");
+    }
+    for (QubitId q : chain.qubits) {
+      if (q < 0 || q >= graph.num_qubits()) return Status::OutOfRange("qubit");
+      if (graph.IsBroken(q)) return Status::FailedPrecondition("broken");
+      if (owner[static_cast<size_t>(q)] != -1) {
+        return Status::FailedPrecondition("overlap");
+      }
+      owner[static_cast<size_t>(q)] = var;
+    }
+    std::deque<QubitId> frontier{chain.qubits.front()};
+    std::vector<QubitId> seen{chain.qubits.front()};
+    while (!frontier.empty()) {
+      QubitId q = frontier.front();
+      frontier.pop_front();
+      for (QubitId n : adj.rows[static_cast<size_t>(q)]) {
+        if (owner[static_cast<size_t>(n)] != var) continue;
+        if (graph.IsBroken(n)) continue;
+        if (std::find(seen.begin(), seen.end(), n) != seen.end()) continue;
+        seen.push_back(n);
+        frontier.push_back(n);
+      }
+    }
+    if (static_cast<int>(seen.size()) != chain.size()) {
+      return Status::FailedPrecondition("disconnected chain");
+    }
+  }
+  // Per-term double scan: first usable coupler between the two chains.
+  for (const qubo::Interaction& term : logical.interactions()) {
+    if (term.weight == 0.0) continue;
+    bool found = false;
+    for (QubitId qa : emb.chain(term.i).qubits) {
+      for (QubitId n : adj.rows[static_cast<size_t>(qa)]) {
+        if (owner[static_cast<size_t>(n)] == term.j &&
+            adj.CouplerUsable(graph, qa, n)) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found) return Status::FailedPrecondition("no usable coupler");
+  }
+  return Status::OK();
+}
+
+/// The seed's EmbeddedQubo::Create body, producing the physical problem
+/// (chain bookkeeping omitted — the parity check is on the energy formula).
+Result<qubo::QuboProblem> LegacyCompile(const qubo::QuboProblem& logical,
+                                        const embedding::Embedding& emb,
+                                        const ChimeraGraph& graph,
+                                        const LegacyAdjacency& adj) {
+  const double epsilon = 0.25;
+  const double chain_strength_scale = 1.0;
+  QMQO_RETURN_IF_ERROR(LegacyVerifyForProblem(emb, graph, adj, logical));
+
+  const int num_vars = logical.num_vars();
+  std::vector<QubitId> used;
+  for (int var = 0; var < num_vars; ++var) {
+    const embedding::Chain& chain = emb.chain(var);
+    used.insert(used.end(), chain.qubits.begin(), chain.qubits.end());
+  }
+  std::sort(used.begin(), used.end());
+  std::vector<int> compact_index(static_cast<size_t>(graph.num_qubits()), -1);
+  for (size_t i = 0; i < used.size(); ++i) {
+    compact_index[static_cast<size_t>(used[i])] = static_cast<int>(i);
+  }
+  auto compact_of = [&](QubitId q) {
+    return compact_index[static_cast<size_t>(q)];
+  };
+
+  qubo::QuboProblem physical(static_cast<int>(used.size()));
+  std::vector<std::vector<int>> chains(static_cast<size_t>(num_vars));
+  for (int var = 0; var < num_vars; ++var) {
+    for (QubitId q : emb.chain(var).qubits) {
+      chains[static_cast<size_t>(var)].push_back(compact_of(q));
+    }
+  }
+  std::vector<int> owner = emb.QubitToVar(graph);
+
+  // Step 1: distribute linear weights over chains.
+  for (int var = 0; var < num_vars; ++var) {
+    double w = logical.linear(var);
+    const auto& members = chains[static_cast<size_t>(var)];
+    if (w == 0.0) continue;
+    double share = w / static_cast<double>(members.size());
+    for (int member : members) physical.AddLinear(member, share);
+  }
+
+  // Step 2: per-term double scan again, placing into the hash map.
+  for (const qubo::Interaction& term : logical.interactions()) {
+    if (term.weight == 0.0) continue;
+    bool placed = false;
+    for (QubitId qa : emb.chain(term.i).qubits) {
+      for (QubitId n : adj.rows[static_cast<size_t>(qa)]) {
+        if (owner[static_cast<size_t>(n)] != term.j) continue;
+        if (!adj.CouplerUsable(graph, qa, n)) continue;
+        physical.AddQuadratic(compact_of(qa), compact_of(n), term.weight);
+        placed = true;
+        break;
+      }
+      if (placed) break;
+    }
+    if (!placed) return Status::Internal("placement diverged");
+  }
+
+  // Choi chain strengths (forces a mid-build finalize, as the seed did).
+  std::vector<double> strength(static_cast<size_t>(num_vars), 0.0);
+  for (int var = 0; var < num_vars; ++var) {
+    const auto& members = chains[static_cast<size_t>(var)];
+    double sum_up = 0.0;
+    double sum_down = 0.0;
+    for (int member : members) {
+      double v = physical.linear(member);
+      double pos = 0.0;
+      double neg = 0.0;
+      for (const auto& [other, w] : physical.neighbors(member)) {
+        (void)other;
+        if (w > 0.0) {
+          pos += w;
+        } else {
+          neg += -w;
+        }
+      }
+      sum_up += std::max(0.0, v + pos);
+      sum_down += std::max(0.0, -v + neg);
+    }
+    double u = std::min(sum_up, sum_down);
+    strength[static_cast<size_t>(var)] =
+        std::max(epsilon, chain_strength_scale * u + epsilon);
+  }
+
+  // Step 3: equality gadgets over BFS spanning trees.
+  for (int var = 0; var < num_vars; ++var) {
+    const embedding::Chain& chain = emb.chain(var);
+    if (chain.size() <= 1) continue;
+    double s = strength[static_cast<size_t>(var)];
+    std::vector<uint8_t> visited(chain.qubits.size(), 0);
+    std::deque<size_t> frontier{0};
+    visited[0] = 1;
+    int edges = 0;
+    while (!frontier.empty()) {
+      size_t at = frontier.front();
+      frontier.pop_front();
+      QubitId qa = chain.qubits[at];
+      for (size_t next = 0; next < chain.qubits.size(); ++next) {
+        if (visited[next]) continue;
+        QubitId qb = chain.qubits[next];
+        if (!adj.CouplerUsable(graph, qa, qb)) continue;
+        visited[next] = 1;
+        frontier.push_back(next);
+        physical.AddLinear(compact_of(qa), s);
+        physical.AddLinear(compact_of(qb), s);
+        physical.AddQuadratic(compact_of(qa), compact_of(qb), -2.0 * s);
+        ++edges;
+      }
+    }
+    if (edges != chain.size() - 1) return Status::Internal("tree diverged");
+  }
+  physical.Finalize();
+  return physical;
+}
+
+bool IdenticalProblems(const qubo::QuboProblem& a, const qubo::QuboProblem& b) {
+  if (a.num_vars() != b.num_vars()) return false;
+  if (a.linear_terms() != b.linear_terms()) return false;
+  const auto& ta = a.interactions();
+  const auto& tb = b.interactions();
+  if (ta.size() != tb.size()) return false;
+  for (size_t t = 0; t < ta.size(); ++t) {
+    if (ta[t].i != tb[t].i || ta[t].j != tb[t].j ||
+        ta[t].weight != tb[t].weight) {
+      return false;
+    }
+  }
+  return a.csr().weights == b.csr().weights;
+}
+
+/// A re-weighted copy of `base`: same interaction pattern, coefficients
+/// scaled by per-term factors in [0.5, 1.5] (never zero), fresh linears.
+qubo::QuboProblem ReweightedVariant(const qubo::QuboProblem& base,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> linear = base.linear_terms();
+  for (double& w : linear) w = rng.UniformReal(-10.0, 10.0);
+  std::vector<qubo::Interaction> terms = base.interactions();
+  for (qubo::Interaction& term : terms) {
+    double w = term.weight == 0.0 ? 1.0 : term.weight;
+    term.weight = w * rng.UniformReal(0.5, 1.5);
+  }
+  qubo::QuboProblem out = qubo::QuboProblem::FromSorted(
+      base.num_vars(), std::move(linear), std::move(terms));
+  out.Finalize();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = bench::FullScale();
+
+  // The paper's 3-plan class on the defective D-Wave 2X: 253 queries,
+  // 759 logical variables (Table 1). The default run scales the query
+  // count down so the bench stays fast.
+  Rng defects(7);
+  ChimeraGraph graph = ChimeraGraph::DWave2XWithDefects(&defects);
+  harness::PaperWorkloadOptions workload;
+  workload.plans_per_query = 3;
+  workload.num_queries = full ? 253 : 100;
+  Rng workload_rng(11);
+  auto instance = harness::GeneratePaperInstance(graph, workload,
+                                                 &workload_rng);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "paper workload failed: %s\n",
+                 instance.status().message().c_str());
+    return 1;
+  }
+  auto mapping = mapping::LogicalMapping::Create(instance->problem);
+  if (!mapping.ok()) {
+    std::fprintf(stderr, "logical mapping failed: %s\n",
+                 mapping.status().message().c_str());
+    return 1;
+  }
+  const qubo::QuboProblem& base = mapping->qubo();
+  base.Finalize();
+  std::printf("instance: %d plans over %d queries -> QUBO(%d vars, %d "
+              "interactions)\n",
+              instance->problem.num_plans(), instance->num_queries,
+              base.num_vars(), base.num_interactions());
+
+  // Pre-built re-weighted requests (outside every timed loop: building the
+  // logical problem is the caller's cost, not the embedder's).
+  const int kVariants = 8;
+  std::vector<qubo::QuboProblem> variants;
+  variants.reserve(kVariants);
+  for (int v = 0; v < kVariants; ++v) {
+    variants.push_back(ReweightedVariant(base, 100 + static_cast<uint64_t>(v)));
+  }
+
+  const int cold_repeats = full ? 24 : 8;
+  const int reweight_repeats = full ? 600 : 200;
+
+  // --- Cold CSR compiles (no layout capture — the plain embed cost the
+  // CSR-vs-map comparison is about; the capture cost is paid once per
+  // cache miss and amortized away). One untimed warm-up touches all the
+  // instance memory first. ---
+  int physical_qubits = 0;
+  {
+    auto warmup = embedding::EmbeddedQubo::Create(variants[0],
+                                                  instance->embedding, graph);
+    if (!warmup.ok()) {
+      std::fprintf(stderr, "cold warm-up failed: %s\n",
+                   warmup.status().message().c_str());
+      return 1;
+    }
+    physical_qubits = warmup->num_physical_vars();
+  }
+  Stopwatch uncached_clock;
+  for (int r = 0; r < cold_repeats; ++r) {
+    auto compiled = embedding::EmbeddedQubo::Create(
+        variants[static_cast<size_t>(r % kVariants)], instance->embedding,
+        graph);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "uncached compile failed: %s\n",
+                   compiled.status().message().c_str());
+      return 1;
+    }
+  }
+  const double uncached_ms = uncached_clock.ElapsedMillis() / cold_repeats;
+
+  // --- Cache-miss compiles (Create + layout capture): what a cold request
+  // costs in the cache-enabled pipeline, and the work a hit replaces. ---
+  Stopwatch cold_clock;
+  for (int r = 0; r < cold_repeats; ++r) {
+    embedding::EmbeddedLayout layout;
+    auto compiled = embedding::EmbeddedQubo::Create(
+        variants[static_cast<size_t>(r % kVariants)], instance->embedding,
+        graph, {}, &layout);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "cold compile failed: %s\n",
+                   compiled.status().message().c_str());
+      return 1;
+    }
+  }
+  const double cold_ms = cold_clock.ElapsedMillis() / cold_repeats;
+
+  // --- Cached re-weights: one warm-up miss, then timed hits (structure
+  // hash + lookup + ReweightFrom — the full service-path cost of a hit). ---
+  embedding::EmbeddingCache cache;
+  {
+    auto warmup = cache.GetOrCreate(variants[0], instance->embedding, graph);
+    if (!warmup.ok()) {
+      std::fprintf(stderr, "cache warm-up failed: %s\n",
+                   warmup.status().message().c_str());
+      return 1;
+    }
+  }
+  Stopwatch reweight_clock;
+  for (int r = 0; r < reweight_repeats; ++r) {
+    auto compiled = cache.GetOrCreate(
+        variants[static_cast<size_t>(r % kVariants)], instance->embedding,
+        graph);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "cached re-weight failed: %s\n",
+                   compiled.status().message().c_str());
+      return 1;
+    }
+  }
+  const double reweight_ms = reweight_clock.ElapsedMillis() / reweight_repeats;
+  const embedding::EmbeddingCacheStats stats = cache.stats();
+
+  // --- Legacy map-based cold compiles (the seed's algorithm). ---
+  LegacyAdjacency adj(graph);
+  {
+    auto warmup = LegacyCompile(variants[0], instance->embedding, graph, adj);
+    if (!warmup.ok()) {
+      std::fprintf(stderr, "legacy warm-up failed: %s\n",
+                   warmup.status().message().c_str());
+      return 1;
+    }
+  }
+  Stopwatch legacy_clock;
+  for (int r = 0; r < cold_repeats; ++r) {
+    auto compiled = LegacyCompile(variants[static_cast<size_t>(r % kVariants)],
+                                  instance->embedding, graph, adj);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "legacy compile failed: %s\n",
+                   compiled.status().message().c_str());
+      return 1;
+    }
+  }
+  const double legacy_ms = legacy_clock.ElapsedMillis() / cold_repeats;
+
+  // --- Bit-parity of all three paths on every variant. ---
+  bool reweight_identical = true;
+  bool embedding_identical = true;
+  for (int v = 0; v < kVariants; ++v) {
+    const qubo::QuboProblem& request = variants[static_cast<size_t>(v)];
+    auto fresh =
+        embedding::EmbeddedQubo::Create(request, instance->embedding, graph);
+    bool was_hit = false;
+    auto cached = cache.GetOrCreate(request, instance->embedding, graph, {},
+                                    &was_hit);
+    auto legacy = LegacyCompile(request, instance->embedding, graph, adj);
+    if (!fresh.ok() || !cached.ok() || !legacy.ok() || !was_hit) {
+      std::fprintf(stderr, "parity compile failed on variant %d\n", v);
+      return 1;
+    }
+    if (!IdenticalProblems(fresh->physical(), cached->physical())) {
+      reweight_identical = false;
+    }
+    if (!IdenticalProblems(fresh->physical(), *legacy)) {
+      embedding_identical = false;
+    }
+  }
+
+  const double cache_speedup = reweight_ms > 0.0 ? cold_ms / reweight_ms : 0.0;
+  const double csr_vs_map_speedup =
+      uncached_ms > 0.0 ? legacy_ms / uncached_ms : 0.0;
+  const int amortized_repeats = 100;
+  const double amortized_ms =
+      (cold_ms + (amortized_repeats - 1) * reweight_ms) / amortized_repeats;
+
+  std::printf("uncached CSR compile: %9.3f ms\n", uncached_ms);
+  std::printf("cold miss (+capture): %9.3f ms\n", cold_ms);
+  std::printf("cached re-weight:     %9.3f ms  (%.1fx vs cold miss)\n",
+              reweight_ms, cache_speedup);
+  std::printf("legacy map compile:   %9.3f ms  (CSR %.2fx vs map)\n",
+              legacy_ms, csr_vs_map_speedup);
+  std::printf("amortized per request over %d repeats: %.3f ms\n",
+              amortized_repeats, amortized_ms);
+  std::printf("cache: %llu hits / %llu misses; parity: reweight %s, "
+              "legacy %s\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              reweight_identical ? "identical" : "MISMATCH",
+              embedding_identical ? "identical" : "MISMATCH");
+
+  const double uncached_per_sec =
+      uncached_ms > 0.0 ? 1000.0 / uncached_ms : 0.0;
+  const double cold_per_sec = cold_ms > 0.0 ? 1000.0 / cold_ms : 0.0;
+  const double reweight_per_sec =
+      reweight_ms > 0.0 ? 1000.0 / reweight_ms : 0.0;
+  const double legacy_per_sec = legacy_ms > 0.0 ? 1000.0 / legacy_ms : 0.0;
+  bench::JsonArray rows;
+  bench::JsonObject uncached_row;
+  uncached_row.Add("engine", "embed_uncached")
+      .Add("threads", 1)
+      .Add("wall_ms", uncached_ms)
+      .Add("embeds_per_sec", uncached_per_sec);
+  rows.Add(uncached_row);
+  bench::JsonObject cold_row;
+  cold_row.Add("engine", "embed_cold_miss")
+      .Add("threads", 1)
+      .Add("wall_ms", cold_ms)
+      .Add("embeds_per_sec", cold_per_sec);
+  rows.Add(cold_row);
+  bench::JsonObject reweight_row;
+  reweight_row.Add("engine", "embed_reweight")
+      .Add("threads", 1)
+      .Add("wall_ms", reweight_ms)
+      .Add("embeds_per_sec", reweight_per_sec);
+  rows.Add(reweight_row);
+  bench::JsonObject legacy_row;
+  legacy_row.Add("engine", "embed_legacy_cold")
+      .Add("threads", 1)
+      .Add("wall_ms", legacy_ms)
+      .Add("embeds_per_sec", legacy_per_sec);
+  rows.Add(legacy_row);
+
+  bench::JsonObject root;
+  root.Add("bench", "embedding")
+      .Add("full_scale", full)
+      .Add("topology", "dwave2x_55_defects")
+      .Add("logical_vars", base.num_vars())
+      .Add("logical_interactions", base.num_interactions())
+      .Add("physical_qubits", physical_qubits)
+      .Add("uncached_embed_ms", uncached_ms)
+      .Add("cold_embed_ms", cold_ms)
+      .Add("cached_reweight_ms", reweight_ms)
+      .Add("legacy_cold_embed_ms", legacy_ms)
+      .Add("cache_speedup", cache_speedup)
+      .Add("csr_vs_map_speedup", csr_vs_map_speedup)
+      .Add("amortized_repeats", amortized_repeats)
+      .Add("amortized_embed_ms", amortized_ms)
+      .Add("reweight_identical", reweight_identical)
+      .Add("embedding_identical", embedding_identical)
+      .Add("cache_hits", static_cast<int64_t>(stats.hits))
+      .Add("cache_misses", static_cast<int64_t>(stats.misses))
+      .AddRaw("runs", rows.Dump());
+  std::string path = bench::WriteBenchArtifact("embedding", root);
+  if (path.empty()) {
+    std::fprintf(stderr, "failed to write BENCH_embedding.json\n");
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  if (!reweight_identical || !embedding_identical) {
+    std::fprintf(stderr,
+                 "FAIL: re-weighted or legacy compile diverged from the "
+                 "fresh CSR compile\n");
+    return 1;
+  }
+  return 0;
+}

@@ -28,7 +28,15 @@ Exits nonzero when
     must never lose to the per-spin loop it replaces), or
   * the fresh artifact's packed_memory_reduction (bytes per retained
     sample of the byte-vector representation over the packed arena, on the
-    2048-spin instance) falls below --min-memory-reduction (default: 4).
+    2048-spin instance) falls below --min-memory-reduction (default: 4),
+  * the fresh artifact's cache_speedup (cold embed incl. layout capture
+    over a cached re-weight, same process) falls below
+    --min-cache-speedup (default: 10),
+  * the fresh artifact's csr_vs_map_speedup (the seed's map-based cold
+    embed over the CSR cold embed) falls below --min-csr-map-speedup
+    (default: 1), or
+  * the fresh artifact reports an embedding parity MISMATCH
+    (reweight_identical / embedding_identical false).
 
 The default threshold is deliberately loose: bench machines differ (CI
 runners vs laptops), so this gate is meant to catch order-of-magnitude
@@ -72,6 +80,16 @@ def main():
                         metavar="FACTOR",
                         help="minimum tolerated packed_memory_reduction "
                              "factor when the fresh artifact reports one "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-cache-speedup", type=float, default=10.0,
+                        metavar="FACTOR",
+                        help="minimum tolerated cache_speedup factor when "
+                             "the fresh artifact reports one "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-csr-map-speedup", type=float, default=1.0,
+                        metavar="FACTOR",
+                        help="minimum tolerated csr_vs_map_speedup factor "
+                             "when the fresh artifact reports one "
                              "(default: %(default)s)")
     args = parser.parse_args()
 
@@ -136,6 +154,34 @@ def main():
     elif "packed_memory_reduction" in baseline:
         failures.append("fresh artifact has no numeric "
                         "'packed_memory_reduction' but the baseline does")
+
+    # Embedding-cache gates. Both speedups compare two timings from the
+    # same process on the same instance, so they are machine-independent
+    # ratios like the memory gate above; the parity flags assert that the
+    # cached re-weight and the legacy map-based compile produced
+    # bit-identical physical problems.
+    for field, minimum, label in (
+            ("cache_speedup", args.min_cache_speedup,
+             "cached re-weight vs cold embed"),
+            ("csr_vs_map_speedup", args.min_csr_map_speedup,
+             "CSR cold embed vs legacy map-based embed")):
+        value = fresh.get(field)
+        if isinstance(value, (int, float)):
+            if value < minimum:
+                failures.append(
+                    f"{field} {value:.2f}x ({label}) fell below the "
+                    f"required {minimum:.1f}x")
+            else:
+                print(f"embedding: {field} {value:.2f}x "
+                      f"(limit {minimum:.1f}x)")
+        elif field in baseline:
+            failures.append(f"fresh artifact has no numeric '{field}' but "
+                            "the baseline does")
+    for flag in ("reweight_identical", "embedding_identical"):
+        if fresh.get(flag) is False:
+            failures.append(f"fresh artifact reports {flag}=false: the "
+                            "embedding pipeline produced a non-identical "
+                            "physical problem")
 
     # Kernel ordering gate: the checkerboard sweep must at least match the
     # scalar loop's serial throughput (same machine, same artifact, so no

@@ -70,7 +70,8 @@ void ChimeraGraph::BreakRandom(int count, Rng* rng) {
 }
 
 void ChimeraGraph::BuildAdjacency() {
-  adjacency_.assign(static_cast<size_t>(num_qubits()), {});
+  const size_t n = static_cast<size_t>(num_qubits());
+  std::vector<std::vector<QubitId>> rows(n);
   for (int r = 0; r < rows_; ++r) {
     for (int c = 0; c < cols_; ++c) {
       // Intra-cell K_{shore,shore}.
@@ -78,8 +79,8 @@ void ChimeraGraph::BuildAdjacency() {
         QubitId left = IdOf(r, c, 0, i);
         for (int j = 0; j < shore_; ++j) {
           QubitId right = IdOf(r, c, 1, j);
-          adjacency_[static_cast<size_t>(left)].push_back(right);
-          adjacency_[static_cast<size_t>(right)].push_back(left);
+          rows[static_cast<size_t>(left)].push_back(right);
+          rows[static_cast<size_t>(right)].push_back(left);
         }
       }
       // Vertical couplers between left shores of vertically adjacent cells.
@@ -87,8 +88,8 @@ void ChimeraGraph::BuildAdjacency() {
         for (int i = 0; i < shore_; ++i) {
           QubitId upper = IdOf(r, c, 0, i);
           QubitId lower = IdOf(r + 1, c, 0, i);
-          adjacency_[static_cast<size_t>(upper)].push_back(lower);
-          adjacency_[static_cast<size_t>(lower)].push_back(upper);
+          rows[static_cast<size_t>(upper)].push_back(lower);
+          rows[static_cast<size_t>(lower)].push_back(upper);
         }
       }
       // Horizontal couplers between right shores of horizontally adjacent
@@ -97,14 +98,24 @@ void ChimeraGraph::BuildAdjacency() {
         for (int i = 0; i < shore_; ++i) {
           QubitId left_cell = IdOf(r, c, 1, i);
           QubitId right_cell = IdOf(r, c + 1, 1, i);
-          adjacency_[static_cast<size_t>(left_cell)].push_back(right_cell);
-          adjacency_[static_cast<size_t>(right_cell)].push_back(left_cell);
+          rows[static_cast<size_t>(left_cell)].push_back(right_cell);
+          rows[static_cast<size_t>(right_cell)].push_back(left_cell);
         }
       }
     }
   }
-  for (auto& neighbors : adjacency_) {
+  adjacency_offsets_.assign(n + 1, 0);
+  size_t total = 0;
+  for (size_t q = 0; q < n; ++q) {
+    total += rows[q].size();
+    adjacency_offsets_[q + 1] = static_cast<int32_t>(total);
+  }
+  adjacency_ids_.clear();
+  adjacency_ids_.reserve(total);
+  for (auto& neighbors : rows) {
     std::sort(neighbors.begin(), neighbors.end());
+    adjacency_ids_.insert(adjacency_ids_.end(), neighbors.begin(),
+                          neighbors.end());
   }
 }
 
@@ -117,7 +128,7 @@ int ChimeraGraph::num_couplers() const {
 
 bool ChimeraGraph::HasCoupler(QubitId a, QubitId b) const {
   if (a == b) return false;
-  const auto& neighbors = adjacency_[static_cast<size_t>(a)];
+  const QubitSpan neighbors = Neighbors(a);
   return std::binary_search(neighbors.begin(), neighbors.end(), b);
 }
 

@@ -38,6 +38,26 @@ struct QubitCoord {
   int index = 0;  ///< Position within the shore, in [0, shore).
 };
 
+/// A contiguous, ascending-sorted view of one qubit's neighbor ids — one
+/// row of the graph's CSR adjacency. Supports the same access patterns as
+/// the `std::vector<QubitId>` rows it replaced (range-for, size(),
+/// operator[]).
+class QubitSpan {
+ public:
+  QubitSpan(const QubitId* begin, const QubitId* end)
+      : begin_(begin), end_(end) {}
+
+  const QubitId* begin() const { return begin_; }
+  const QubitId* end() const { return end_; }
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  QubitId operator[](size_t k) const { return begin_[k]; }
+
+ private:
+  const QubitId* begin_;
+  const QubitId* end_;
+};
+
 /// An immutable-topology, mutable-defect-set Chimera graph.
 class ChimeraGraph {
  public:
@@ -84,9 +104,12 @@ class ChimeraGraph {
     return HasCoupler(a, b) && IsWorking(a) && IsWorking(b);
   }
 
-  /// Structural neighbors of `q` (defects ignored); at most shore + 2.
-  const std::vector<QubitId>& Neighbors(QubitId q) const {
-    return adjacency_[static_cast<size_t>(q)];
+  /// Structural neighbors of `q` in ascending id order (defects ignored);
+  /// at most shore + 2. The view stays valid for the graph's lifetime.
+  QubitSpan Neighbors(QubitId q) const {
+    const size_t row = static_cast<size_t>(q);
+    return QubitSpan(adjacency_ids_.data() + adjacency_offsets_[row],
+                     adjacency_ids_.data() + adjacency_offsets_[row + 1]);
   }
 
   /// Working neighbors of a working qubit.
@@ -103,7 +126,13 @@ class ChimeraGraph {
   int shore_;
   int num_broken_ = 0;
   std::vector<uint8_t> broken_;
-  std::vector<std::vector<QubitId>> adjacency_;
+  // CSR adjacency: neighbors of qubit q live in
+  // adjacency_ids_[adjacency_offsets_[q] .. adjacency_offsets_[q+1])
+  // sorted ascending. The topology is immutable after construction
+  // (defects are tracked separately in broken_), so the arrays are built
+  // once and never reallocated.
+  std::vector<int32_t> adjacency_offsets_;
+  std::vector<QubitId> adjacency_ids_;
 };
 
 }  // namespace chimera

@@ -12,6 +12,11 @@ Result<std::vector<Chain>> CliqueInCellEmbedder::EmbedInCell(
         StrFormat("K_%d does not fit in one cell (max K_%d)", k,
                   MaxK(graph.shore())));
   }
+  if (row < 0 || row >= graph.rows() || col < 0 || col >= graph.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("cell (%d,%d) outside the %dx%d grid", row, col,
+                  graph.rows(), graph.cols()));
+  }
   // Working shore indices of this cell.
   std::vector<int> left;
   std::vector<int> right;

@@ -222,6 +222,10 @@ PairMatchingEmbedder::MatchPairs(const chimera::ChimeraGraph& graph) {
 
 Result<Embedding> PairMatchingEmbedder::Embed(
     int num_queries, const chimera::ChimeraGraph& graph) {
+  if (num_queries < 0) {
+    return Status::InvalidArgument(
+        StrFormat("num_queries must be >= 0, got %d", num_queries));
+  }
   auto pairs = MatchPairs(graph);
   if (static_cast<int>(pairs.size()) < num_queries) {
     return Status::ResourceExhausted(

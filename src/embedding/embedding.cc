@@ -94,26 +94,53 @@ Status Embedding::VerifyForProblem(const chimera::ChimeraGraph& graph,
   }
   QMQO_RETURN_IF_ERROR(VerifyStructure(graph));
   std::vector<int> owner = QubitToVar(graph);
-  for (const qubo::Interaction& term : logical.interactions()) {
-    if (term.weight == 0.0) continue;
-    bool found = false;
-    for (chimera::QubitId qa : chain(term.i).qubits) {
+  Result<std::vector<CrossChainPlacement>> placements =
+      PlaceCrossChainCouplers(*this, graph, logical, owner);
+  return placements.status();
+}
+
+Result<std::vector<CrossChainPlacement>> PlaceCrossChainCouplers(
+    const Embedding& embedding, const chimera::ChimeraGraph& graph,
+    const qubo::QuboProblem& logical, const std::vector<int>& owner) {
+  const std::vector<qubo::Interaction>& terms = logical.interactions();
+  std::vector<CrossChainPlacement> placements(terms.size());
+  const int num_vars = logical.num_vars();
+  // first_hit[j] = index into `hits` of the first usable coupler from the
+  // current chain into chain j, or -1. Reset per source variable via the
+  // `touched` list, so the pass is O(sum of chain degrees) overall.
+  std::vector<int32_t> first_hit(
+      static_cast<size_t>(std::max(num_vars, embedding.num_vars())), -1);
+  std::vector<int> touched;
+  std::vector<CrossChainPlacement> hits;
+  size_t t = 0;  // walks `terms`, which are sorted by (i, j)
+  for (int i = 0; i < num_vars && t < terms.size(); ++i) {
+    if (terms[t].i != i) continue;  // no term has i as its lower endpoint
+    for (chimera::QubitId qa : embedding.chain(i).qubits) {
       for (chimera::QubitId n : graph.Neighbors(qa)) {
-        if (owner[static_cast<size_t>(n)] == term.j &&
-            graph.CouplerUsable(qa, n)) {
-          found = true;
-          break;
-        }
+        int j = owner[static_cast<size_t>(n)];
+        if (j <= i) continue;  // terms store i < j; also skips unused (-1)
+        if (first_hit[static_cast<size_t>(j)] != -1) continue;
+        if (!graph.CouplerUsable(qa, n)) continue;
+        first_hit[static_cast<size_t>(j)] = static_cast<int32_t>(hits.size());
+        hits.push_back({qa, n});
+        touched.push_back(j);
       }
-      if (found) break;
     }
-    if (!found) {
-      return Status::FailedPrecondition(
-          StrFormat("no usable coupler between chains of variables %d and %d",
-                    term.i, term.j));
+    for (; t < terms.size() && terms[t].i == i; ++t) {
+      if (terms[t].weight == 0.0) continue;
+      int32_t hit = first_hit[static_cast<size_t>(terms[t].j)];
+      if (hit == -1) {
+        return Status::FailedPrecondition(StrFormat(
+            "no usable coupler between chains of variables %d and %d",
+            terms[t].i, terms[t].j));
+      }
+      placements[t] = hits[static_cast<size_t>(hit)];
     }
+    for (int j : touched) first_hit[static_cast<size_t>(j)] = -1;
+    touched.clear();
+    hits.clear();
   }
-  return Status::OK();
+  return placements;
 }
 
 std::string Embedding::Summary() const {

@@ -70,6 +70,31 @@ class Embedding {
   std::vector<Chain> chains_;
 };
 
+/// The physical coupler realizing one logical quadratic term: an endpoint
+/// in each chain. `qubit_a` is -1 for terms that were not placed (zero
+/// logical weight).
+struct CrossChainPlacement {
+  chimera::QubitId qubit_a = -1;  ///< in chain(term.i)
+  chimera::QubitId qubit_b = -1;  ///< in chain(term.j)
+};
+
+/// Selects one usable coupler for every nonzero quadratic term of
+/// `logical`, aligned with `logical.interactions()`. `owner` must be
+/// `embedding.QubitToVar(graph)`.
+///
+/// Selection priority matches the historical per-term scan — first qubit in
+/// chain(term.i) order, then first neighbor in ascending id order — so the
+/// compiled physical problem is bit-identical to what the old double scan
+/// produced. Each chain is scanned once in total (not once per term), which
+/// is what makes this the shared fast path for both `VerifyForProblem` and
+/// `EmbeddedQubo::Create`.
+///
+/// Fails with FailedPrecondition when some nonzero term has no usable
+/// coupler between its chains.
+Result<std::vector<CrossChainPlacement>> PlaceCrossChainCouplers(
+    const Embedding& embedding, const chimera::ChimeraGraph& graph,
+    const qubo::QuboProblem& logical, const std::vector<int>& owner);
+
 /// A usable coupler joining chains of two different variables.
 struct ChainCoupler {
   int var_a = -1;

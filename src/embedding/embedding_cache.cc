@@ -1,0 +1,194 @@
+#include "embedding/embedding_cache.h"
+
+#include <utility>
+
+namespace qmqo {
+namespace embedding {
+namespace {
+
+/// SplitMix64 finalizer — the standard avalanche mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A running 64-bit structure hash; two instances with distinct seeds give
+/// the cache its 128-bit key.
+struct Hasher {
+  uint64_t state;
+  explicit Hasher(uint64_t seed) : state(seed) {}
+  void Add(uint64_t v) { state = Mix64(state ^ Mix64(v)); }
+};
+
+}  // namespace
+
+EmbeddingCache::CacheKey EmbeddingCache::KeyOf(
+    const qubo::QuboProblem& logical, const Embedding& embedding,
+    const chimera::ChimeraGraph& graph) {
+  Hasher ha(0x51ed270b9f8f51abULL);
+  Hasher hb(0xc2b2ae3d27d4eb4fULL);
+  auto add = [&ha, &hb](uint64_t v) {
+    ha.Add(v);
+    hb.Add(v);
+  };
+
+  // Logical structure: variable count + CSR adjacency pattern. Weights are
+  // deliberately excluded — that is the whole point of the cache.
+  add(0x10u);  // section tags keep (say) a chain id from aliasing an offset
+  add(static_cast<uint64_t>(logical.num_vars()));
+  const qubo::CsrGraph& csr = logical.csr();
+  for (int32_t offset : csr.row_offsets) {
+    add(static_cast<uint64_t>(static_cast<uint32_t>(offset)));
+  }
+  for (qubo::VarId neighbor : csr.neighbor_ids) {
+    add(static_cast<uint64_t>(static_cast<uint32_t>(neighbor)));
+  }
+
+  // The embedding: every chain, in order, length-prefixed.
+  add(0x20u);
+  int64_t total_chain_qubits = 0;
+  for (int var = 0; var < embedding.num_vars(); ++var) {
+    const Chain& chain = embedding.chain(var);
+    add(static_cast<uint64_t>(chain.qubits.size()));
+    for (chimera::QubitId q : chain.qubits) {
+      add(static_cast<uint64_t>(static_cast<uint32_t>(q)));
+    }
+    total_chain_qubits += chain.size();
+  }
+
+  // The hardware graph: dimensions determine the topology, the defect set
+  // determines which couplers are usable.
+  add(0x30u);
+  add(static_cast<uint64_t>(graph.rows()));
+  add(static_cast<uint64_t>(graph.cols()));
+  add(static_cast<uint64_t>(graph.shore()));
+  for (chimera::QubitId q = 0; q < graph.num_qubits(); ++q) {
+    if (graph.IsBroken(q)) add(static_cast<uint64_t>(static_cast<uint32_t>(q)));
+  }
+  add(static_cast<uint64_t>(graph.num_broken_qubits()));
+
+  CacheKey key;
+  key.hash_a = ha.state;
+  key.hash_b = hb.state;
+  key.num_vars = logical.num_vars();
+  key.num_interactions = static_cast<int64_t>(csr.neighbor_ids.size() / 2);
+  key.total_chain_qubits = total_chain_qubits;
+  return key;
+}
+
+bool EmbeddingCache::LayoutMatches(const EmbeddedLayout& layout,
+                                   const qubo::QuboProblem& logical,
+                                   const Embedding& embedding) {
+  if (layout.num_logical_vars != logical.num_vars() ||
+      layout.num_logical_vars != embedding.num_vars()) {
+    return false;
+  }
+  const std::vector<qubo::Interaction>& terms = logical.interactions();
+  if (layout.pattern_i.size() != terms.size()) return false;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    if (layout.pattern_i[t] != terms[t].i || layout.pattern_j[t] != terms[t].j) {
+      return false;
+    }
+  }
+  for (int var = 0; var < embedding.num_vars(); ++var) {
+    const std::vector<chimera::QubitId>& want = embedding.chain(var).qubits;
+    const std::vector<int>& have = layout.chains[static_cast<size_t>(var)];
+    if (have.size() != want.size()) return false;
+    for (size_t k = 0; k < want.size(); ++k) {
+      if (layout.used_qubits[static_cast<size_t>(have[k])] != want[k]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<EmbeddedQubo> EmbeddingCache::GetOrCreate(
+    const qubo::QuboProblem& logical, const Embedding& embedding,
+    const chimera::ChimeraGraph& graph, const EmbeddedQuboOptions& options,
+    bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+
+  // Zero-weight terms make the compiled coupler set weight-dependent
+  // (Create drops them), so such requests are not structure-cacheable.
+  bool cacheable = true;
+  for (const qubo::Interaction& term : logical.interactions()) {
+    if (term.weight == 0.0) {
+      cacheable = false;
+      break;
+    }
+  }
+  if (!cacheable) {
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    return EmbeddedQubo::Create(logical, embedding, graph, options);
+  }
+
+  const CacheKey key = KeyOf(logical, embedding, graph);
+  std::shared_ptr<const EmbeddedLayout> layout;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() &&
+        LayoutMatches(*it->second.layout, logical, embedding)) {
+      layout = it->second.layout;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    }
+  }
+  if (layout != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit != nullptr) *was_hit = true;
+    // Errors (only fault injection can fail here — the structure already
+    // matched and weights are nonzero) are propagated, not retried cold,
+    // so fault schedules observe exactly one "embed.compile" evaluation
+    // per call, same as the uncached path.
+    return EmbeddedQubo::ReweightFrom(*layout, logical, options);
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Cold compile outside the lock: concurrent requests for other
+  // structures keep hitting while this one embeds.
+  auto fresh = std::make_shared<EmbeddedLayout>();
+  Result<EmbeddedQubo> compiled =
+      EmbeddedQubo::Create(logical, embedding, graph, options, fresh.get());
+  if (!compiled.ok()) return compiled;
+  if (fresh->complete) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A racing insert of the same key wins harmlessly — equal structures
+    // replay to bit-identical problems.
+    if (entries_.find(key) == entries_.end()) {
+      lru_.push_front(key);
+      entries_.emplace(key, Entry{std::move(fresh), lru_.begin()});
+      while (entries_.size() > max_entries_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return compiled;
+}
+
+EmbeddingCacheStats EmbeddingCache::stats() const {
+  EmbeddingCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.bypasses = bypasses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t EmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void EmbeddingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace embedding
+}  // namespace qmqo

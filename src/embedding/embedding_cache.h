@@ -1,0 +1,148 @@
+#ifndef QMQO_EMBEDDING_EMBEDDING_CACHE_H_
+#define QMQO_EMBEDDING_EMBEDDING_CACHE_H_
+
+/// \file embedding_cache.h
+/// A structure-keyed cache of embedding layouts.
+///
+/// Embedding is the expensive, structure-dependent stage of the pipeline,
+/// and production MQO traffic repeats query-graph shapes endlessly. The
+/// paper's gauge/chain-strength machinery already separates QUBO
+/// *structure* from *coefficients*, so a compiled embedding can be reused
+/// across requests whose logical problems share an interaction pattern:
+/// the cache keys `EmbeddedLayout`s by a canonical 128-bit hash of
+///
+///   * the logical QUBO structure (variable count + CSR adjacency pattern,
+///     weights excluded),
+///   * the chains of the embedding, and
+///   * the hardware graph (grid dimensions, shore, defect set),
+///
+/// and serves hits through `EmbeddedQubo::ReweightFrom`, which replays the
+/// coefficient-dependent arithmetic in compile order — the resulting
+/// physical problem, and therefore every downstream sample, is
+/// bit-identical to a fresh `EmbeddedQubo::Create` at any thread count.
+///
+/// Entries are evicted least-recently-used beyond `max_entries`. All
+/// methods are thread-safe: lookups and inserts take one mutex, the cold
+/// compile runs outside it, and racing inserts of the same structure are
+/// benign (equal structures replay to bit-identical problems). Counters
+/// (hits / misses / evictions / bypasses) are exposed for service stats.
+///
+/// Requests whose logical problem carries a zero-weight quadratic term
+/// bypass the cache entirely (counted in `bypasses`): `Create` drops
+/// zero-weight terms, which makes the compiled coupler set depend on the
+/// weights, not just the structure.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "chimera/topology.h"
+#include "embedding/embedded_qubo.h"
+#include "embedding/embedding.h"
+#include "qubo/qubo.h"
+#include "util/status.h"
+
+namespace qmqo {
+namespace embedding {
+
+/// Monotonic counters of one cache instance.
+struct EmbeddingCacheStats {
+  uint64_t hits = 0;        ///< served by ReweightFrom from a cached layout
+  uint64_t misses = 0;      ///< cold Create runs (layout captured on success)
+  uint64_t evictions = 0;   ///< entries dropped by the LRU bound
+  uint64_t bypasses = 0;    ///< uncacheable requests (zero-weight terms)
+};
+
+class EmbeddingCache {
+ public:
+  struct Options {
+    /// Maximum cached layouts; the least recently used entry is evicted
+    /// beyond this. Must be >= 1.
+    size_t max_entries = 64;
+  };
+
+  EmbeddingCache() : max_entries_(Options().max_entries) {}
+  explicit EmbeddingCache(const Options& options)
+      : max_entries_(options.max_entries > 0 ? options.max_entries : 1) {}
+
+  EmbeddingCache(const EmbeddingCache&) = delete;
+  EmbeddingCache& operator=(const EmbeddingCache&) = delete;
+
+  /// Compiles `logical` onto the hardware through `embedding`, reusing a
+  /// cached layout when one matches the request's structure. Results are
+  /// bit-identical either way. `was_hit` (optional) reports whether the
+  /// fast path served the request. Fault injection behaves exactly as in
+  /// `EmbeddedQubo::Create`: the "embed.compile" site fires once per call
+  /// on both paths.
+  Result<EmbeddedQubo> GetOrCreate(
+      const qubo::QuboProblem& logical, const Embedding& embedding,
+      const chimera::ChimeraGraph& graph,
+      const EmbeddedQuboOptions& options = EmbeddedQuboOptions(),
+      bool* was_hit = nullptr);
+
+  /// Snapshot of the counters (consistent enough for stats endpoints; each
+  /// counter is individually atomic).
+  EmbeddingCacheStats stats() const;
+
+  /// Cached layouts currently held.
+  size_t size() const;
+
+  /// Drops every cached layout; counters are kept.
+  void Clear();
+
+ private:
+  struct CacheKey {
+    uint64_t hash_a = 0;
+    uint64_t hash_b = 0;
+    // Cheap plaintext check fields narrowing the collision surface.
+    int num_vars = 0;
+    int64_t num_interactions = 0;
+    int64_t total_chain_qubits = 0;
+
+    bool operator==(const CacheKey& other) const {
+      return hash_a == other.hash_a && hash_b == other.hash_b &&
+             num_vars == other.num_vars &&
+             num_interactions == other.num_interactions &&
+             total_chain_qubits == other.total_chain_qubits;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const {
+      return static_cast<size_t>(key.hash_a);
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const EmbeddedLayout> layout;
+    std::list<CacheKey>::iterator lru_it;
+  };
+
+  static CacheKey KeyOf(const qubo::QuboProblem& logical,
+                        const Embedding& embedding,
+                        const chimera::ChimeraGraph& graph);
+  /// Full structural comparison between a cached layout and the request —
+  /// the belt to the hash's suspenders (chains and interaction pattern are
+  /// compared element-wise).
+  static bool LayoutMatches(const EmbeddedLayout& layout,
+                            const qubo::QuboProblem& logical,
+                            const Embedding& embedding);
+
+  const size_t max_entries_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+  /// Most recently used first.
+  std::list<CacheKey> lru_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> bypasses_{0};
+};
+
+}  // namespace embedding
+}  // namespace qmqo
+
+#endif  // QMQO_EMBEDDING_EMBEDDING_CACHE_H_

@@ -57,6 +57,19 @@ Result<Embedding> TriadEmbedder::Embed(int num_vars,
         "K_%d needs a %dx%d cell block; graph is %dx%d cells", num_vars, m, m,
         graph.rows(), graph.cols()));
   }
+  // A fixed origin that cannot host the block is a caller error, not a
+  // capacity problem — report it as such instead of falling through to a
+  // misleading "0 intact chains" failure.
+  if (options.origin_row >= 0 && options.origin_row + m > graph.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "origin row %d leaves no room for a %dx%d block in %d rows",
+        options.origin_row, m, m, graph.rows()));
+  }
+  if (options.origin_col >= 0 && options.origin_col + m > graph.cols()) {
+    return Status::InvalidArgument(StrFormat(
+        "origin col %d leaves no room for a %dx%d block in %d cols",
+        options.origin_col, m, m, graph.cols()));
+  }
 
   int best_intact = -1;
   Embedding best(num_vars);

@@ -1,6 +1,7 @@
 #include "harness/quantum_pipeline.h"
 
 #include <limits>
+#include <utility>
 
 #include "util/fault.h"
 #include "util/stopwatch.h"
@@ -28,10 +29,15 @@ Result<QuantumMqoResult> SolveQuantumMqo(const mqo::MqoProblem& problem,
     physical_options.faults = options.faults;
     physical_options.fault_key = options.fault_attempt;
   }
-  QMQO_ASSIGN_OR_RETURN(embedding::EmbeddedQubo physical,
-                        embedding::EmbeddedQubo::Create(
-                            logical.qubo(), embedding, graph,
-                            physical_options));
+  Result<embedding::EmbeddedQubo> compiled =
+      options.embedding_cache != nullptr
+          ? options.embedding_cache->GetOrCreate(logical.qubo(), embedding,
+                                                 graph, physical_options,
+                                                 &result.embedding_cache_hit)
+          : embedding::EmbeddedQubo::Create(logical.qubo(), embedding, graph,
+                                            physical_options);
+  QMQO_RETURN_IF_ERROR(compiled.status());
+  embedding::EmbeddedQubo physical = std::move(compiled).value();
   result.preprocessing_ms = preprocessing.ElapsedMillis();
   result.physical_qubits = physical.num_physical_vars();
 

@@ -18,6 +18,7 @@
 #include "chimera/topology.h"
 #include "embedding/embedded_qubo.h"
 #include "embedding/embedding.h"
+#include "embedding/embedding_cache.h"
 #include "harness/trajectory.h"
 #include "mapping/logical_mapping.h"
 #include "mqo/problem.h"
@@ -51,6 +52,12 @@ struct QuantumMqoOptions {
   /// Attempt number used as the fault key/epoch; orchestrators increment
   /// it per retry so retries draw fresh fault decisions.
   uint64_t fault_attempt = 0;
+  /// Structure-keyed embedding cache (never owned; null = always compile
+  /// cold). When set, the physical mapping is served by
+  /// `EmbeddingCache::GetOrCreate`, which reuses a captured layout for
+  /// repeated structures — bit-identical results, large preprocessing
+  /// savings on repeated shapes (retries, per-request re-weights).
+  embedding::EmbeddingCache* embedding_cache = nullptr;
 };
 
 /// Everything Algorithm 1 produces, plus the paper's measurements.
@@ -81,6 +88,9 @@ struct QuantumMqoResult {
   int64_t faults_injected = 0;
   int dropped_reads = 0;
   double injected_latency_ms = 0.0;
+  /// True when the physical mapping was served from the embedding cache
+  /// (always false without `options.embedding_cache`).
+  bool embedding_cache_hit = false;
 };
 
 /// Runs Algorithm 1 with a caller-provided embedding of the plan variables

@@ -116,6 +116,16 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
     }
   }
 
+  // Per-request embedding cache: the structure is identical across device
+  // retries (only gauges/fault keys change), so every retry after the first
+  // re-weights the cached layout instead of re-running verification,
+  // placement, and spanning-tree search. A caller-provided cache (shared
+  // across requests) takes precedence.
+  embedding::EmbeddingCache request_cache;
+  embedding::EmbeddingCache* embedding_cache =
+      options.embedding_cache != nullptr ? options.embedding_cache
+                                         : &request_cache;
+
   auto run_attempt = [&](SolveBackend backend, int attempt) -> AttemptOutcome {
     AttemptOutcome out;
     // The orchestrator's own fault point: force a whole rung down.
@@ -132,6 +142,7 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
     switch (backend) {
       case SolveBackend::kDevice: {
         QuantumMqoOptions attempt_options = options;
+        attempt_options.embedding_cache = embedding_cache;
         if (policy_.faults != nullptr && attempt_options.faults == nullptr) {
           attempt_options.faults = policy_.faults;
         }

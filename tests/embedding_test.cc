@@ -190,6 +190,18 @@ TEST(TriadTest, FixedOriginPlacement) {
   }
 }
 
+TEST(TriadTest, RejectsFixedOriginWithoutRoom) {
+  ChimeraGraph graph = ChimeraGraph::DWave2X();
+  TriadOptions options;
+  options.origin_row = 11;  // K_8 needs a 2x2 block; row 11 leaves 1 row
+  auto embedding = TriadEmbedder::Embed(8, graph, options);
+  EXPECT_EQ(embedding.status().code(), StatusCode::kInvalidArgument);
+  TriadOptions col_options;
+  col_options.origin_col = 11;
+  EXPECT_EQ(TriadEmbedder::Embed(8, graph, col_options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 // --------------------------------------------------------------------
 // Clique in cell
 // --------------------------------------------------------------------
@@ -243,6 +255,18 @@ TEST(CliqueInCellTest, DefectAwareRoleAssignment) {
 TEST(CliqueInCellTest, RejectsOversizedClique) {
   ChimeraGraph graph(1, 1, 4);
   EXPECT_FALSE(CliqueInCellEmbedder::EmbedInCell(6, 0, 0, graph).ok());
+}
+
+TEST(CliqueInCellTest, RejectsOutOfGridCell) {
+  ChimeraGraph graph(2, 3, 4);
+  EXPECT_EQ(CliqueInCellEmbedder::EmbedInCell(3, 2, 0, graph).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CliqueInCellEmbedder::EmbedInCell(3, 0, 3, graph).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CliqueInCellEmbedder::EmbedInCell(3, -1, 0, graph).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CliqueInCellEmbedder::EmbedInCell(3, 0, -1, graph).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(CliqueInCellTest, SingleVariableUsesAnyWorkingQubit) {
@@ -384,6 +408,12 @@ TEST(PairMatchingTest, EmbedProducesVerifiableEmbedding) {
 TEST(PairMatchingTest, FailsBeyondCapacity) {
   ChimeraGraph graph(1, 1, 4);
   EXPECT_FALSE(PairMatchingEmbedder::Embed(5, graph).ok());
+}
+
+TEST(PairMatchingTest, RejectsNegativeQueryCount) {
+  ChimeraGraph graph(1, 1, 4);
+  EXPECT_EQ(PairMatchingEmbedder::Embed(-1, graph).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 // --------------------------------------------------------------------
