@@ -246,9 +246,34 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
 
   Status last_error = Status::Internal("empty backend ladder");
   int backends_tried = 0;
-  for (size_t rung = 0; rung < policy_.ladder.size() && !report.ok; ++rung) {
+  // Shed-aware entry: under load the service raises `entry_rung` so the
+  // request starts at a cheaper backend. 0 keeps the full ladder and is
+  // bit-identical to the pre-shedding behavior.
+  size_t start_rung = 0;
+  if (policy_.entry_rung > 0 && !policy_.ladder.empty()) {
+    start_rung = std::min(static_cast<size_t>(policy_.entry_rung),
+                          policy_.ladder.size() - 1);
+  }
+  for (size_t rung = start_rung; rung < policy_.ladder.size() && !report.ok;
+       ++rung) {
     const SolveBackend backend = policy_.ladder[rung];
     const bool last_resort = rung + 1 == policy_.ladder.size();
+    // Consult the admission gate (e.g. a circuit-breaker snapshot) before
+    // spending any of the retry budget on this rung. The last resort is
+    // never gated — something must answer. A skipped rung costs nothing:
+    // one attempt-0 record, no attempts, no backoff.
+    if (!last_resort && policy_.backend_gate) {
+      Status gate = policy_.backend_gate(backend);
+      if (!gate.ok()) {
+        SolveAttempt skipped;
+        skipped.backend = backend;
+        skipped.attempt = 0;
+        skipped.status = gate;
+        report.attempts.push_back(std::move(skipped));
+        last_error = std::move(gate);
+        continue;
+      }
+    }
     bool tried = false;
     for (int attempt = 1; attempt <= max_attempts && !report.ok; ++attempt) {
       // The last resort always runs: a valid (cheap) answer beats honoring

@@ -33,6 +33,7 @@
 /// `Status` inside the report.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -106,12 +107,28 @@ struct SolvePolicy {
   /// "solve.greedy" (key: 0-based attempt within the backend) before each
   /// attempt, so whole backends can be forced down for chaos tests.
   const util::FaultInjector* faults = nullptr;
+  /// Admission gate consulted once per ladder rung (except the last
+  /// resort, which always runs): a non-OK return skips the rung entirely —
+  /// no attempts, no retry budget, no backoff — recording one attempt-0
+  /// entry carrying the gate's status. The solve service installs a
+  /// circuit-breaker snapshot here so requests stop burning their budget
+  /// on a backend the fleet already knows is down. Must be thread-safe or
+  /// effectively immutable (the service captures a per-request snapshot).
+  std::function<Status(SolveBackend)> backend_gate;
+  /// First ladder rung to try (shed-aware rung selection): under queue
+  /// pressure the service raises this so overloaded traffic enters the
+  /// ladder at a cheaper backend. Clamped to [0, ladder.size() - 1];
+  /// 0 = the full ladder (default, bit-identical to the pre-shedding
+  /// behavior).
+  int entry_rung = 0;
 };
 
 /// One attempt's record inside a `SolveReport`.
 struct SolveAttempt {
   SolveBackend backend = SolveBackend::kGreedy;
-  /// 1-based attempt number within the backend.
+  /// 1-based attempt number within the backend; 0 for a rung the
+  /// `backend_gate` skipped without running (the status carries the gate's
+  /// reason, e.g. an open circuit breaker).
   int attempt = 0;
   /// OK when this attempt produced the returned answer.
   Status status;

@@ -1,6 +1,7 @@
 #include "mqo/problem.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/string_util.h"
 
@@ -39,8 +40,10 @@ Status MqoProblem::AddSaving(PlanId a, PlanId b, double value) {
         "saving between plans %d and %d of the same query %d", a, b,
         query_of(a)));
   }
-  if (value <= 0.0) {
-    return Status::InvalidArgument("saving value must be positive");
+  // NaN compares false against every threshold, so test finiteness
+  // explicitly — a NaN saving would silently poison all cost arithmetic.
+  if (!std::isfinite(value) || value <= 0.0) {
+    return Status::InvalidArgument("saving value must be positive and finite");
   }
   uint64_t key = PairKey(a, b);
   auto it = saving_index_.find(key);
@@ -75,16 +78,16 @@ Status MqoProblem::Validate() const {
     }
   }
   for (PlanId p = 0; p < num_plans(); ++p) {
-    if (plan_cost(p) < 0.0) {
+    if (!std::isfinite(plan_cost(p)) || plan_cost(p) < 0.0) {
       return Status::FailedPrecondition(
-          StrFormat("plan %d has negative cost", p));
+          StrFormat("plan %d has negative or non-finite cost", p));
     }
   }
   for (const Saving& s : savings_) {
     if (query_of(s.plan_a) == query_of(s.plan_b)) {
       return Status::FailedPrecondition("intra-query saving");
     }
-    if (s.value <= 0.0) {
+    if (!std::isfinite(s.value) || s.value <= 0.0) {
       return Status::FailedPrecondition("non-positive saving");
     }
   }

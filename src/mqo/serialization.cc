@@ -25,7 +25,21 @@ std::string ToText(const MqoProblem& problem) {
   return out;
 }
 
+namespace {
+
+/// Hostile-input guard: no legitimate instance needs more than this many
+/// bytes of text, and parsing is linear in the payload — cap before doing
+/// any work so an attacker-sized payload is a cheap typed rejection.
+constexpr size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+
+}  // namespace
+
 Result<MqoProblem> FromText(const std::string& text) {
+  if (text.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        StrFormat("oversized payload: %zu bytes (limit %zu)", text.size(),
+                  kMaxPayloadBytes));
+  }
   std::istringstream in(text);
   std::string line;
   bool saw_header = false;
@@ -54,9 +68,8 @@ Result<MqoProblem> FromText(const std::string& text) {
       std::vector<double> costs;
       for (size_t i = 1; i < fields.size(); ++i) {
         if (fields[i].empty()) continue;
-        char* end = nullptr;
-        double v = std::strtod(fields[i].c_str(), &end);
-        if (end == fields[i].c_str() || *end != '\0') {
+        double v = 0.0;
+        if (!ParseFiniteDouble(fields[i], &v)) {
           return Status::InvalidArgument(
               StrFormat("line %d: bad cost '%s'", line_no, fields[i].c_str()));
         }
@@ -68,13 +81,18 @@ Result<MqoProblem> FromText(const std::string& text) {
       }
       problem.AddQuery(std::move(costs));
     } else if (fields[0] == "saving") {
-      if (fields.size() < 4) {
+      if (fields.size() != 4) {
         return Status::InvalidArgument(
-            StrFormat("line %d: saving needs 3 fields", line_no));
+            StrFormat("line %d: saving needs exactly 3 fields", line_no));
       }
-      int a = std::atoi(fields[1].c_str());
-      int b = std::atoi(fields[2].c_str());
-      double v = std::strtod(fields[3].c_str(), nullptr);
+      int a = 0;
+      int b = 0;
+      double v = 0.0;
+      if (!ParseInt(fields[1], &a) || !ParseInt(fields[2], &b) ||
+          !ParseFiniteDouble(fields[3], &v)) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: bad saving '%s'", line_no, line.c_str()));
+      }
       Status s = problem.AddSaving(a, b, v);
       if (!s.ok()) {
         return Status::InvalidArgument(

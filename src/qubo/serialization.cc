@@ -1,12 +1,21 @@
 #include "qubo/serialization.h"
 
-#include <cstdlib>
 #include <sstream>
 
 #include "util/string_util.h"
 
 namespace qmqo {
 namespace qubo {
+namespace {
+
+/// Hostile-input guards: cap the payload before linear parsing work, and
+/// cap the declared variable count before `QuboProblem(num_vars)` commits
+/// to an O(num_vars) allocation — a 10-byte header must not be able to
+/// request gigabytes.
+constexpr size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+constexpr int kMaxVars = 1 << 22;               // ~4M variables
+
+}  // namespace
 
 std::string ToText(const QuboProblem& problem) {
   std::string out = StrFormat("qubo v1 %d\n", problem.num_vars());
@@ -25,6 +34,11 @@ std::string ToText(const QuboProblem& problem) {
 }
 
 Result<QuboProblem> FromText(const std::string& text) {
+  if (text.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        StrFormat("oversized payload: %zu bytes (limit %zu)", text.size(),
+                  kMaxPayloadBytes));
+  }
   std::istringstream in(text);
   std::string line;
   int line_no = 0;
@@ -38,13 +52,17 @@ Result<QuboProblem> FromText(const std::string& text) {
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string> fields = Split(line, ' ');
     if (!saw_header) {
-      if (fields.size() != 3 || fields[0] != "qubo" || fields[1] != "v1") {
+      if (fields.size() != 3 || fields[0] != "qubo" || fields[1] != "v1" ||
+          !ParseInt(fields[2], &num_vars)) {
         return Status::InvalidArgument(
             StrFormat("line %d: expected 'qubo v1 <num_vars>'", line_no));
       }
-      num_vars = std::atoi(fields[2].c_str());
       if (num_vars < 0) {
         return Status::InvalidArgument("negative variable count");
+      }
+      if (num_vars > kMaxVars) {
+        return Status::InvalidArgument(StrFormat(
+            "variable count %d exceeds the %d limit", num_vars, kMaxVars));
       }
       problem = QuboProblem(num_vars);
       saw_header = true;
@@ -54,20 +72,32 @@ Result<QuboProblem> FromText(const std::string& text) {
       saw_end = true;
       break;
     }
-    if (fields[0] == "lin" && fields.size() >= 3) {
-      int i = std::atoi(fields[1].c_str());
+    if (fields[0] == "lin") {
+      int i = 0;
+      double w = 0.0;
+      if (fields.size() != 3 || !ParseInt(fields[1], &i) ||
+          !ParseFiniteDouble(fields[2], &w)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: bad 'lin' line", line_no));
+      }
       if (i < 0 || i >= num_vars) {
         return Status::OutOfRange(StrFormat("line %d: var %d", line_no, i));
       }
-      problem.AddLinear(i, std::strtod(fields[2].c_str(), nullptr));
-    } else if (fields[0] == "quad" && fields.size() >= 4) {
-      int i = std::atoi(fields[1].c_str());
-      int j = std::atoi(fields[2].c_str());
+      problem.AddLinear(i, w);
+    } else if (fields[0] == "quad") {
+      int i = 0;
+      int j = 0;
+      double w = 0.0;
+      if (fields.size() != 4 || !ParseInt(fields[1], &i) ||
+          !ParseInt(fields[2], &j) || !ParseFiniteDouble(fields[3], &w)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: bad 'quad' line", line_no));
+      }
       if (i < 0 || i >= num_vars || j < 0 || j >= num_vars || i == j) {
         return Status::OutOfRange(
             StrFormat("line %d: pair (%d, %d)", line_no, i, j));
       }
-      problem.AddQuadratic(i, j, std::strtod(fields[3].c_str(), nullptr));
+      problem.AddQuadratic(i, j, w);
     } else {
       return Status::InvalidArgument(
           StrFormat("line %d: unknown directive '%s'", line_no,

@@ -1,0 +1,129 @@
+#include "service/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace service {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  options_.window = std::max(1, options_.window);
+  options_.min_samples = std::max(1, options_.min_samples);
+  options_.half_open_probes = std::max(1, options_.half_open_probes);
+  options_.successes_to_close = std::max(1, options_.successes_to_close);
+}
+
+Status CircuitBreaker::Admit(double now_ms) {
+  if (state_ == BreakerState::kOpen &&
+      now_ms - opened_at_ms_ >= options_.open_cooldown_ms) {
+    state_ = BreakerState::kHalfOpen;
+    probes_admitted_ = 0;
+    probe_successes_ = 0;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++admitted_;
+      return Status::OK();
+    case BreakerState::kOpen:
+      ++rejected_;
+      return Status::Unavailable(StrFormat(
+          "circuit open (failure rate %.2f over last %d outcomes)",
+          WindowFailureRate(), static_cast<int>(window_.size())));
+    case BreakerState::kHalfOpen:
+      // Admitted probes that never produce an outcome (an earlier rung
+      // answered first) would otherwise wedge the episode; re-arm the probe
+      // budget once a full cooldown passes with no verdict.
+      if (probes_admitted_ >= options_.half_open_probes &&
+          now_ms - last_probe_admit_ms_ >= options_.open_cooldown_ms) {
+        probes_admitted_ = 0;
+      }
+      if (probes_admitted_ < options_.half_open_probes) {
+        ++probes_admitted_;
+        last_probe_admit_ms_ = now_ms;
+        ++admitted_;
+        return Status::OK();
+      }
+      ++rejected_;
+      return Status::Unavailable("circuit half-open, probe budget spent");
+  }
+  return Status::Internal("unknown breaker state");
+}
+
+void CircuitBreaker::Record(bool ok, double modeled_latency_ms,
+                            double now_ms) {
+  const bool failure =
+      !ok || (options_.latency_threshold_ms > 0.0 &&
+              modeled_latency_ms > options_.latency_threshold_ms);
+
+  if (state_ == BreakerState::kHalfOpen) {
+    if (failure) {
+      Open(now_ms);
+    } else if (++probe_successes_ >= options_.successes_to_close) {
+      Close();
+    }
+    return;
+  }
+  if (state_ == BreakerState::kOpen) {
+    // A straggler outcome from a request admitted before the breaker
+    // opened; the open decision already stands.
+    return;
+  }
+
+  window_.push_back(failure ? 1 : 0);
+  window_failures_ += failure ? 1 : 0;
+  while (static_cast<int>(window_.size()) > options_.window) {
+    window_failures_ -= window_.front();
+    window_.pop_front();
+  }
+  if (static_cast<int>(window_.size()) >= options_.min_samples &&
+      WindowFailureRate() >= options_.failure_rate_to_open) {
+    Open(now_ms);
+  }
+}
+
+double CircuitBreaker::WindowFailureRate() const {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(window_failures_) /
+         static_cast<double>(window_.size());
+}
+
+void CircuitBreaker::Open(double now_ms) {
+  state_ = BreakerState::kOpen;
+  opened_at_ms_ = now_ms;
+  probes_admitted_ = 0;
+  probe_successes_ = 0;
+  ++times_opened_;
+}
+
+void CircuitBreaker::Close() {
+  state_ = BreakerState::kClosed;
+  window_.clear();
+  window_failures_ = 0;
+  probes_admitted_ = 0;
+  probe_successes_ = 0;
+  ++times_closed_;
+}
+
+std::string CircuitBreaker::Summary() const {
+  return StrFormat("%s (failure rate %.2f over %d, opened %lldx)",
+                   BreakerStateName(state_), WindowFailureRate(),
+                   static_cast<int>(window_.size()),
+                   static_cast<long long>(times_opened_));
+}
+
+}  // namespace service
+}  // namespace qmqo

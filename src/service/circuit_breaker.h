@@ -1,0 +1,123 @@
+#ifndef QMQO_SERVICE_CIRCUIT_BREAKER_H_
+#define QMQO_SERVICE_CIRCUIT_BREAKER_H_
+
+/// \file circuit_breaker.h
+/// Per-backend circuit breakers for the solve service.
+///
+/// The resilient solver's degradation ladder retries a dying backend on
+/// every request, burning each request's retry budget (and deadline) on
+/// attempts that are overwhelmingly likely to fail. A `CircuitBreaker`
+/// moves that knowledge *across* requests: outcomes of every routed attempt
+/// feed a rolling window, and once the windowed failure rate crosses a
+/// threshold the breaker *opens* — subsequent requests skip the backend at
+/// admission time. After a cooldown the breaker turns *half-open* and lets
+/// a bounded number of probe requests through; a successful probe closes
+/// the breaker, a failed one re-opens it.
+///
+/// Determinism contract: the breaker has no clock of its own. Every
+/// transition is driven by the caller-supplied *modeled* timestamp `now_ms`
+/// (the service's scheduling clock) and by the order of `Admit`/`Record`
+/// calls — the service issues both on its serial admission/commit path, so
+/// breaker behavior is a pure function of the request stream and the fault
+/// seed, bit-reproducible at any worker-thread count. The breaker is NOT
+/// internally synchronized; callers serialize access (the service holds its
+/// own mutex).
+///
+/// Latency counts as failure: an OK outcome slower (in modeled time) than
+/// `latency_threshold_ms` is recorded as a failure, so a browned-out
+/// backend that answers at 100x its SLA opens the breaker just like a
+/// crashing one.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "util/status.h"
+
+namespace qmqo {
+namespace service {
+
+/// When a breaker opens, how long it stays open, and how it re-closes.
+struct CircuitBreakerOptions {
+  /// Rolling outcome window driving the failure rate.
+  int window = 16;
+  /// Outcomes required in the window before the rate can open the breaker
+  /// (prevents one early failure from opening a cold breaker).
+  int min_samples = 4;
+  /// Windowed failure rate at (or above) which the breaker opens.
+  double failure_rate_to_open = 0.5;
+  /// OK outcomes with modeled latency above this count as failures;
+  /// <= 0 disables latency classification.
+  double latency_threshold_ms = 0.0;
+  /// Modeled milliseconds an open breaker waits before going half-open.
+  double open_cooldown_ms = 1000.0;
+  /// Probe admissions allowed per half-open episode. If probes are admitted
+  /// but never produce an outcome (an earlier ladder rung answered), the
+  /// probe budget re-arms after another cooldown.
+  int half_open_probes = 1;
+  /// Consecutive probe successes required to close from half-open.
+  int successes_to_close = 1;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Stable lower-case name ("closed", "open", "half-open").
+const char* BreakerStateName(BreakerState state);
+
+/// Rolling-window circuit breaker. Externally synchronized; all timestamps
+/// are modeled milliseconds on the caller's clock (monotone non-decreasing).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerOptions& options =
+                              CircuitBreakerOptions());
+
+  /// Admission-time consultation at modeled time `now_ms`. OK = the backend
+  /// may be tried; `Unavailable` = skip it. Half-open probes are counted
+  /// here, so at most `half_open_probes` requests per episode reach the
+  /// backend.
+  Status Admit(double now_ms);
+
+  /// Feeds one routed attempt's outcome: `ok` is the attempt status,
+  /// `modeled_latency_ms` its modeled cost (compared against the latency
+  /// threshold), `now_ms` the commit-time modeled timestamp.
+  void Record(bool ok, double modeled_latency_ms, double now_ms);
+
+  BreakerState state() const { return state_; }
+
+  /// Failure rate over the current window (0 when empty).
+  double WindowFailureRate() const;
+
+  /// Lifetime counters.
+  int64_t admitted() const { return admitted_; }
+  int64_t rejected() const { return rejected_; }
+  int64_t times_opened() const { return times_opened_; }
+  int64_t times_closed() const { return times_closed_; }
+
+  /// One-line diagnostic, e.g. "open (failure rate 0.81, opened 2x)".
+  std::string Summary() const;
+
+ private:
+  void Open(double now_ms);
+  void Close();
+
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  /// Rolling outcomes, 1 = failure.
+  std::deque<uint8_t> window_;
+  int window_failures_ = 0;
+  double opened_at_ms_ = 0.0;
+  /// Half-open probe accounting (per episode; re-arms after a cooldown).
+  int probes_admitted_ = 0;
+  int probe_successes_ = 0;
+  double last_probe_admit_ms_ = 0.0;
+
+  int64_t admitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t times_opened_ = 0;
+  int64_t times_closed_ = 0;
+};
+
+}  // namespace service
+}  // namespace qmqo
+
+#endif  // QMQO_SERVICE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,75 @@
+#include "service/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace service {
+
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kInteractive:
+      return "interactive";
+    case RequestPriority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+BoundedRequestQueue::BoundedRequestQueue(int capacity)
+    : capacity_(std::max(1, capacity)) {}
+
+Status BoundedRequestQueue::Push(QueuedRequest&& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int depth = static_cast<int>(lanes_[0].size() + lanes_[1].size());
+  if (depth >= capacity_) {
+    return Status::ResourceExhausted(StrFormat(
+        "request queue full (%d/%d)", depth, capacity_));
+  }
+  lanes_[static_cast<size_t>(request.priority)].push_back(std::move(request));
+  peak_size_ = std::max(peak_size_, depth + 1);
+  return Status::OK();
+}
+
+bool BoundedRequestQueue::Pop(QueuedRequest* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& lane : lanes_) {
+    if (!lane.empty()) {
+      *out = std::move(lane.front());
+      lane.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<QueuedRequest> BoundedRequestQueue::DrainAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QueuedRequest> drained;
+  for (auto& lane : lanes_) {
+    for (QueuedRequest& request : lane) {
+      drained.push_back(std::move(request));
+    }
+    lane.clear();
+  }
+  return drained;
+}
+
+int BoundedRequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(lanes_[0].size() + lanes_[1].size());
+}
+
+double BoundedRequestQueue::FillFraction() const {
+  return static_cast<double>(size()) / static_cast<double>(capacity_);
+}
+
+int BoundedRequestQueue::peak_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_size_;
+}
+
+}  // namespace service
+}  // namespace qmqo

@@ -1,0 +1,51 @@
+#include "service/service_stats.h"
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace service {
+
+bool ServiceStats::operator==(const ServiceStats& other) const {
+  for (int b = 0; b < 4; ++b) {
+    if (answered_by[b] != other.answered_by[b]) return false;
+  }
+  return submitted == other.submitted && accepted == other.accepted &&
+         rejected_invalid == other.rejected_invalid &&
+         rejected_queue_full == other.rejected_queue_full &&
+         rejected_shutdown == other.rejected_shutdown &&
+         completed_ok == other.completed_ok &&
+         completed_failed == other.completed_failed &&
+         expired_in_queue == other.expired_in_queue &&
+         drained_failfast == other.drained_failfast &&
+         shed_degraded == other.shed_degraded &&
+         breaker_skips == other.breaker_skips &&
+         faults_observed == other.faults_observed &&
+         rounds == other.rounds && modeled_ms == other.modeled_ms;
+}
+
+std::string ServiceStats::ToString() const {
+  return StrFormat(
+      "submitted %lld | accepted %lld, rejected invalid %lld / full %lld / "
+      "shutdown %lld | ok %lld, failed %lld, expired %lld, drained %lld | "
+      "degraded %lld, breaker skips %lld, faults %lld | "
+      "answers d/q/s/g %lld/%lld/%lld/%lld | rounds %lld, modeled %.1f ms",
+      static_cast<long long>(submitted), static_cast<long long>(accepted),
+      static_cast<long long>(rejected_invalid),
+      static_cast<long long>(rejected_queue_full),
+      static_cast<long long>(rejected_shutdown),
+      static_cast<long long>(completed_ok),
+      static_cast<long long>(completed_failed),
+      static_cast<long long>(expired_in_queue),
+      static_cast<long long>(drained_failfast),
+      static_cast<long long>(shed_degraded),
+      static_cast<long long>(breaker_skips),
+      static_cast<long long>(faults_observed),
+      static_cast<long long>(answered_by[0]),
+      static_cast<long long>(answered_by[1]),
+      static_cast<long long>(answered_by[2]),
+      static_cast<long long>(answered_by[3]),
+      static_cast<long long>(rounds), modeled_ms);
+}
+
+}  // namespace service
+}  // namespace qmqo

@@ -1,0 +1,77 @@
+#ifndef QMQO_SERVICE_SERVICE_STATS_H_
+#define QMQO_SERVICE_SERVICE_STATS_H_
+
+/// \file service_stats.h
+/// Counters of everything the solve service admits, sheds, and finishes.
+///
+/// Every request ends in exactly one admission counter (accepted or one of
+/// the rejected_* buckets) and, if accepted, exactly one completion counter
+/// (completed_ok, completed_failed, expired_in_queue, or drained_failfast)
+/// — so `accepted == completed_ok + completed_failed + expired_in_queue +
+/// drained_failfast` holds after a drain, and "zero leaked in-flight
+/// requests" is checkable arithmetic, not a hope. All counters are updated
+/// on the service's serial admission/commit path, so under a fixed chaos
+/// seed they are exact and bit-identical at any worker-thread count.
+
+#include <cstdint>
+#include <string>
+
+namespace qmqo {
+namespace service {
+
+/// Snapshot of the service's counters (see SolveService::stats()).
+struct ServiceStats {
+  // ---- Admission (one per Submit call) ----
+  int64_t submitted = 0;
+  int64_t accepted = 0;
+  /// Wire payload failed to parse or validate.
+  int64_t rejected_invalid = 0;
+  /// Bounded queue at capacity.
+  int64_t rejected_queue_full = 0;
+  /// Service no longer accepting (shut down).
+  int64_t rejected_shutdown = 0;
+
+  // ---- Completion (one per accepted request) ----
+  int64_t completed_ok = 0;
+  int64_t completed_failed = 0;
+  /// Shed: deadline expired while queued (never scheduled).
+  int64_t expired_in_queue = 0;
+  /// Shed: failed unstarted by a fail-fast shutdown.
+  int64_t drained_failfast = 0;
+
+  // ---- Degradation diagnostics ----
+  /// Requests whose entry rung was degraded below the ladder top by queue
+  /// pressure or a brownout fault (they still complete, on cheaper rungs).
+  int64_t shed_degraded = 0;
+  /// Ladder rungs skipped because a circuit breaker was open/half-open.
+  int64_t breaker_skips = 0;
+  /// Faults observed inside solves routed by the service.
+  int64_t faults_observed = 0;
+
+  // ---- Per-backend answers (index = harness::SolveBackend) ----
+  int64_t answered_by[4] = {0, 0, 0, 0};
+
+  // ---- Scheduling ----
+  int64_t rounds = 0;
+  /// Modeled service-clock milliseconds accumulated over all rounds.
+  double modeled_ms = 0.0;
+
+  /// Completion counters summed — equals `accepted` once drained.
+  int64_t settled() const {
+    return completed_ok + completed_failed + expired_in_queue +
+           drained_failfast;
+  }
+
+  /// Accepted requests not yet settled (0 after a drain).
+  int64_t in_flight() const { return accepted - settled(); }
+
+  bool operator==(const ServiceStats& other) const;
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace service
+}  // namespace qmqo
+
+#endif  // QMQO_SERVICE_SERVICE_STATS_H_

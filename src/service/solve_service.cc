@@ -1,0 +1,352 @@
+#include "service/solve_service.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "embedding/clustered.h"
+#include "mqo/serialization.h"
+#include "util/executor.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace service {
+namespace {
+
+// Entry rung implied by queue occupancy at round formation: 0 = full
+// ladder, 1 = skip device (SQA first), 2 = SA first, 3 = greedy only.
+// Thresholds are inclusive so fill == threshold already sheds.
+int ShedRungForFill(const ServiceOptions& options, double fill) {
+  int rung = 0;
+  if (fill >= options.shed_device_fill) rung = 1;
+  if (fill >= options.shed_sqa_fill) rung = 2;
+  if (fill >= options.shed_sa_fill) rung = 3;
+  return rung;
+}
+
+// One round slot: everything decided serially at admission, filled in by
+// the parallel solve, then committed serially.
+struct RoundSlot {
+  QueuedRequest request;
+  harness::SolvePolicy policy;
+  harness::QuantumMqoOptions pipeline;
+  bool crashed = false;  // service.worker_crash fired at admission
+  bool shed = false;     // entry rung degraded by pressure or brownout
+  double crash_latency_ms = 0.0;
+  harness::SolveReport report;
+};
+
+}  // namespace
+
+SolveService::SolveService(const ServiceOptions& options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      breakers_{CircuitBreaker(options.breaker), CircuitBreaker(options.breaker),
+                CircuitBreaker(options.breaker),
+                CircuitBreaker(options.breaker)} {
+  if (options_.round_width <= 0) options_.round_width = 4;
+}
+
+Result<uint64_t> SolveService::Enqueue(QueuedRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+  if (!accepting_) {
+    ++stats_.rejected_shutdown;
+    return Status::Unavailable("service is shut down");
+  }
+  request.id = next_id_;
+  request.submit_ms = clock_ms_;
+  Status pushed = queue_.Push(std::move(request));
+  if (!pushed.ok()) {
+    ++stats_.rejected_queue_full;
+    return pushed;
+  }
+  uint64_t id = next_id_++;
+  ++stats_.accepted;
+  return id;
+}
+
+Result<uint64_t> SolveService::Submit(mqo::MqoProblem problem,
+                                      embedding::Embedding embedding,
+                                      RequestPriority priority,
+                                      double deadline_ms) {
+  Status valid = problem.Validate();
+  if (!valid.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    ++stats_.rejected_invalid;
+    return valid;
+  }
+  QueuedRequest request;
+  request.priority = priority;
+  request.deadline_ms =
+      deadline_ms < 0.0 ? options_.default_deadline_ms : deadline_ms;
+  request.problem = std::move(problem);
+  request.has_embedding = embedding.num_vars() == request.problem.num_plans();
+  request.embedding = std::move(embedding);
+  return Enqueue(std::move(request));
+}
+
+Result<uint64_t> SolveService::SubmitText(const std::string& text,
+                                          RequestPriority priority,
+                                          double deadline_ms) {
+  Result<mqo::MqoProblem> parsed = mqo::FromText(text);
+  if (!parsed.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    ++stats_.rejected_invalid;
+    return parsed.status();
+  }
+  mqo::MqoProblem problem = std::move(parsed).value();
+  // Re-derive the embedding from the instance's cluster structure — the
+  // same construction the paper workload uses, so a round-tripped payload
+  // gets a bit-identical device layout. No fit is not a rejection: the
+  // request enters the ladder at the first classical rung instead.
+  embedding::Embedding embedding(0);
+  bool has_embedding = false;
+  if (options_.graph != nullptr && problem.num_queries() > 0) {
+    std::vector<int> cluster_sizes(
+        static_cast<size_t>(problem.num_queries()));
+    for (int q = 0; q < problem.num_queries(); ++q) {
+      cluster_sizes[static_cast<size_t>(q)] = problem.num_plans_of(q);
+    }
+    Result<embedding::Embedding> embedded =
+        embedding::ClusteredEmbedder::Embed(cluster_sizes, *options_.graph);
+    if (embedded.ok()) {
+      embedding = std::move(embedded).value();
+      has_embedding = true;
+    }
+  }
+  QueuedRequest request;
+  request.priority = priority;
+  request.deadline_ms =
+      deadline_ms < 0.0 ? options_.default_deadline_ms : deadline_ms;
+  request.problem = std::move(problem);
+  request.embedding = std::move(embedding);
+  request.has_embedding = has_embedding;
+  return Enqueue(std::move(request));
+}
+
+int SolveService::ProcessRound() {
+  const util::FaultInjector* faults = options_.faults;
+  std::vector<RoundSlot> slots;
+  int settled = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return 0;
+    ++stats_.rounds;
+    const uint64_t round = static_cast<uint64_t>(round_index_++);
+
+    // An injected queue stall ages everything still queued before this
+    // round claims work — the mechanism deadline-expiry tests use.
+    if (faults != nullptr && faults->ShouldFail("service.queue_stall", round)) {
+      clock_ms_ += faults->LatencyMillis("service.queue_stall");
+    }
+
+    // Shed level is measured once per round, at formation — every request
+    // claimed by the round sees the same queue-pressure decision.
+    const double fill = queue_.FillFraction();
+    const int shed_rung = ShedRungForFill(options_, fill);
+
+    QueuedRequest request;
+    while (static_cast<int>(slots.size()) < options_.round_width &&
+           queue_.Pop(&request)) {
+      const double queue_wait = clock_ms_ - request.submit_ms;
+      // Shed requests that aged past their deadline while queued: they
+      // settle here, without ever occupying a worker.
+      if (request.deadline_ms > 0.0 && queue_wait >= request.deadline_ms) {
+        SolveOutcome outcome;
+        outcome.id = request.id;
+        outcome.status = Status::Timeout(
+            StrFormat("deadline (%.1f ms) expired after %.1f ms in queue",
+                      request.deadline_ms, queue_wait));
+        outcome.queue_wait_modeled_ms = queue_wait;
+        outcomes_.push_back(std::move(outcome));
+        ++stats_.expired_in_queue;
+        ++settled;
+        continue;
+      }
+
+      RoundSlot slot;
+      // Entry rung: queue pressure, a brownout fault, or a missing
+      // embedding each force the request past the device rung.
+      int entry_rung = shed_rung;
+      bool shed = shed_rung > 0;
+      if (faults != nullptr &&
+          faults->ShouldFail("service.brownout", request.id)) {
+        entry_rung = std::max(entry_rung, 1);
+        shed = true;
+      }
+      if (!request.has_embedding) entry_rung = std::max(entry_rung, 1);
+      if (shed) ++stats_.shed_degraded;
+      slot.shed = shed;
+
+      // Per-request policy: forked seed, remaining deadline, breaker gate
+      // snapshot. The snapshot is taken here, on the serial path — workers
+      // never touch live breaker state.
+      slot.policy = options_.policy;
+      slot.policy.seed = Rng(options_.policy.seed).Fork(request.id).Next();
+      slot.policy.entry_rung = entry_rung;
+      if (slot.policy.faults == nullptr) slot.policy.faults = faults;
+      if (request.deadline_ms > 0.0) {
+        slot.policy.deadline_ms = request.deadline_ms - queue_wait;
+      }
+      if (options_.breakers_enabled && !slot.policy.ladder.empty()) {
+        std::array<Status, 4> gate_snapshot;
+        for (size_t rung = static_cast<size_t>(entry_rung);
+             rung + 1 < slot.policy.ladder.size(); ++rung) {
+          const harness::SolveBackend backend = slot.policy.ladder[rung];
+          gate_snapshot[static_cast<size_t>(backend)] =
+              breakers_[static_cast<size_t>(backend)].Admit(clock_ms_);
+        }
+        slot.policy.backend_gate =
+            [gate_snapshot](harness::SolveBackend backend) {
+              return gate_snapshot[static_cast<size_t>(backend)];
+            };
+      }
+
+      slot.pipeline = options_.pipeline;
+      if (slot.pipeline.faults == nullptr) slot.pipeline.faults = faults;
+      if (slot.pipeline.device.executor == nullptr) {
+        slot.pipeline.device.executor = options_.executor;
+      }
+      if (slot.pipeline.device.num_threads <= 0) {
+        slot.pipeline.device.num_threads = std::max(1, options_.num_threads);
+      }
+
+      // A crashed worker is decided at admission (pure in seed and id, so
+      // any thread would decide identically) and skips the solve entirely.
+      if (faults != nullptr &&
+          faults->ShouldFail("service.worker_crash", request.id)) {
+        slot.crashed = true;
+        slot.crash_latency_ms = faults->LatencyMillis("service.worker_crash");
+      }
+
+      slot.request = std::move(request);
+      slots.push_back(std::move(slot));
+    }
+  }
+
+  if (slots.empty()) return settled;
+
+  // Parallel fan-out into per-index slots. Everything order-dependent
+  // already happened above; everything order-dependent below happens after
+  // the barrier — results are bit-identical at any worker count.
+  const chimera::ChimeraGraph* graph = options_.graph;
+  util::Executor::Run(
+      options_.executor, static_cast<int>(slots.size()),
+      std::max(1, options_.num_threads), [&](int begin, int end, int) {
+        for (int i = begin; i < end; ++i) {
+          RoundSlot& slot = slots[static_cast<size_t>(i)];
+          if (slot.crashed) continue;
+          slot.report = harness::ResilientSolver(slot.policy)
+                            .Solve(slot.request.problem, slot.request.embedding,
+                                   *graph, slot.pipeline);
+        }
+      });
+
+  // Serial commit, in slot order: advance the modeled clock by the round's
+  // longest solve, then feed breakers and counters.
+  std::lock_guard<std::mutex> lock(mutex_);
+  double round_ms = 0.0;
+  for (const RoundSlot& slot : slots) {
+    round_ms = std::max(round_ms, slot.crashed ? slot.crash_latency_ms
+                                               : slot.report.total_modeled_ms);
+  }
+  clock_ms_ += round_ms;
+  stats_.modeled_ms = clock_ms_;
+
+  for (RoundSlot& slot : slots) {
+    SolveOutcome outcome;
+    outcome.id = slot.request.id;
+    outcome.entry_rung = slot.policy.entry_rung;
+    outcome.shed_degraded = slot.shed;
+    outcome.queue_wait_modeled_ms =
+        (clock_ms_ - round_ms) - slot.request.submit_ms;
+
+    if (slot.crashed) {
+      outcome.status = Status::Internal(StrFormat(
+          "injected worker crash while solving request %llu",
+          static_cast<unsigned long long>(slot.request.id)));
+      outcome.solve_modeled_ms = slot.crash_latency_ms;
+      outcome.faults_observed = 1;
+      ++stats_.completed_failed;
+      stats_.faults_observed += 1;
+    } else {
+      const harness::SolveReport& report = slot.report;
+      // Breaker feedback: only attempts that actually ran (attempt >= 1)
+      // are outcomes; gate skips (attempt 0) are counted as skips.
+      for (const harness::SolveAttempt& attempt : report.attempts) {
+        if (attempt.attempt == 0) {
+          ++outcome.breaker_skips;
+          continue;
+        }
+        if (options_.breakers_enabled) {
+          breakers_[static_cast<size_t>(attempt.backend)].Record(
+              attempt.status.ok(), attempt.modeled_ms, clock_ms_);
+        }
+      }
+      stats_.breaker_skips += outcome.breaker_skips;
+      outcome.status = report.final_status;
+      outcome.backend = report.backend;
+      outcome.cost = report.cost;
+      outcome.solution = report.solution;
+      outcome.solve_modeled_ms = report.total_modeled_ms;
+      outcome.attempts = report.total_attempts;
+      outcome.faults_observed = report.faults_observed;
+      outcome.detail = report.FailureChain();
+      stats_.faults_observed += report.faults_observed;
+      if (report.ok) {
+        ++stats_.completed_ok;
+        ++stats_.answered_by[static_cast<size_t>(report.backend)];
+      } else {
+        ++stats_.completed_failed;
+      }
+    }
+    outcomes_.push_back(std::move(outcome));
+    ++settled;
+  }
+  return settled;
+}
+
+int SolveService::DrainAll() {
+  int settled = 0;
+  while (!queue_.empty()) {
+    int round = ProcessRound();
+    if (round == 0 && queue_.empty()) break;
+    settled += round;
+  }
+  return settled;
+}
+
+int SolveService::Shutdown(bool graceful) {
+  int settled = 0;
+  if (graceful) {
+    settled = DrainAll();
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    return settled;
+  }
+  std::vector<QueuedRequest> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    abandoned = queue_.DrainAll();
+    for (QueuedRequest& request : abandoned) {
+      SolveOutcome outcome;
+      outcome.id = request.id;
+      outcome.status =
+          Status::Unavailable("request failed fast by service shutdown");
+      outcome.queue_wait_modeled_ms = clock_ms_ - request.submit_ms;
+      outcomes_.push_back(std::move(outcome));
+      ++stats_.drained_failfast;
+      ++settled;
+    }
+  }
+  return settled;
+}
+
+}  // namespace service
+}  // namespace qmqo

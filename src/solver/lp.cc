@@ -59,6 +59,8 @@ const char* LpStatusToString(LpStatus status) {
       return "unbounded";
     case LpStatus::kIterationLimit:
       return "iteration-limit";
+    case LpStatus::kNumericalError:
+      return "numerical-error";
   }
   return "unknown";
 }

@@ -100,6 +100,10 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  /// A pivot element degenerated below the numerical tolerance — the
+  /// tableau can no longer be trusted. Reported as a typed status (callers
+  /// prune or propagate) instead of the assert it used to be.
+  kNumericalError,
 };
 
 const char* LpStatusToString(LpStatus status);

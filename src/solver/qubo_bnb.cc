@@ -163,6 +163,18 @@ Result<QuboBnbResult> QuboBranchAndBound::Solve(
   if (problem.num_vars() == 0) {
     return Status::InvalidArgument("empty QUBO");
   }
+  // Non-finite weights would silently corrupt the bound arithmetic (NaN
+  // never prunes, infinities overflow the field sums) — reject instead.
+  for (qubo::VarId i = 0; i < problem.num_vars(); ++i) {
+    if (!std::isfinite(problem.linear(i))) {
+      return Status::InvalidArgument("non-finite linear weight");
+    }
+  }
+  for (const qubo::Interaction& term : problem.interactions()) {
+    if (!std::isfinite(term.weight)) {
+      return Status::InvalidArgument("non-finite quadratic weight");
+    }
+  }
   QuboSearch search(problem, options_, on_incumbent);
   return search.Run();
 }

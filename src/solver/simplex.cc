@@ -1,7 +1,6 @@
 #include "solver/simplex.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -24,9 +23,13 @@ struct Tableau {
     return a[static_cast<size_t>(r) * num_cols + c];
   }
 
-  void Pivot(int row, int col) {
+  /// False when the pivot element has degenerated below the numerical
+  /// floor — the caller reports `kNumericalError` instead of dividing by
+  /// (nearly) zero. This used to be an assert, which turned a numerically
+  /// hostile model into a process abort.
+  bool Pivot(int row, int col) {
     double pivot = At(row, col);
-    assert(std::fabs(pivot) > 1e-12);
+    if (!(std::fabs(pivot) > 1e-12)) return false;
     double inv = 1.0 / pivot;
     for (int c = 0; c < num_cols; ++c) At(row, c) *= inv;
     b[static_cast<size_t>(row)] *= inv;
@@ -40,6 +43,7 @@ struct Tableau {
       b[static_cast<size_t>(r)] -= factor * b[static_cast<size_t>(row)];
     }
     basis[static_cast<size_t>(row)] = col;
+    return true;
   }
 };
 
@@ -97,7 +101,7 @@ LpStatus Iterate(Tableau* t, const std::vector<double>& cost,
     }
     if (leaving < 0) return LpStatus::kUnbounded;
 
-    t->Pivot(leaving, entering);
+    if (!t->Pivot(leaving, entering)) return LpStatus::kNumericalError;
 
     double objective = 0.0;
     for (int r = 0; r < t->num_rows; ++r) {
@@ -238,7 +242,8 @@ LpSolution SimplexSolver::Solve(const LpModel& model) const {
       }
     }
     LpStatus status = Iterate(&t, phase1_cost, no_bar, options_);
-    if (status == LpStatus::kIterationLimit) {
+    if (status == LpStatus::kIterationLimit ||
+        status == LpStatus::kNumericalError) {
       out.status = status;
       return out;
     }
@@ -263,8 +268,9 @@ LpSolution SimplexSolver::Solve(const LpModel& model) const {
           break;
         }
       }
-      if (replacement >= 0) {
-        t.Pivot(r, replacement);
+      if (replacement >= 0 && !t.Pivot(r, replacement)) {
+        out.status = LpStatus::kNumericalError;
+        return out;
       }
       // Otherwise the row is redundant; the artificial stays basic at 0,
       // which is harmless because its column is barred in phase 2.

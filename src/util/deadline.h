@@ -2,7 +2,8 @@
 #define QMQO_UTIL_DEADLINE_H_
 
 /// \file deadline.h
-/// Wall-clock deadlines for the resilient solve orchestrator.
+/// Wall-clock deadlines for the resilient solve orchestrator and the solve
+/// service.
 ///
 /// A `Deadline` is a fixed point on the monotonic clock; components that
 /// accept one check `expired()` between units of work and use
@@ -15,7 +16,14 @@
 /// and the orchestrator charges those modeled milliseconds against the
 /// budget so deadline behavior is testable deterministically — a charged
 /// deadline expires exactly when wall + charged time exceeds the budget.
+///
+/// `Charge` is safe to call concurrently (the solve service's worker lanes
+/// charge one shared per-request deadline from several threads); the debit
+/// is a lock-free atomic accumulation, so concurrent charges never lose
+/// milliseconds. Copying a deadline snapshots the charge accumulated so
+/// far; the copy and the original then charge independently.
 
+#include <atomic>
 #include <chrono>
 #include <limits>
 
@@ -28,6 +36,21 @@ class Deadline {
  public:
   /// Never expires.
   Deadline() = default;
+
+  Deadline(const Deadline& other)
+      : has_budget_(other.has_budget_),
+        budget_ms_(other.budget_ms_),
+        charged_ms_(other.charged_ms_.load(std::memory_order_relaxed)),
+        start_(other.start_) {}
+
+  Deadline& operator=(const Deadline& other) {
+    has_budget_ = other.has_budget_;
+    budget_ms_ = other.budget_ms_;
+    charged_ms_.store(other.charged_ms_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    start_ = other.start_;
+    return *this;
+  }
 
   /// Expires `budget_ms` wall-clock milliseconds after now. Non-positive
   /// budgets yield an already-expired deadline.
@@ -47,10 +70,10 @@ class Deadline {
   /// Wall milliseconds elapsed since the deadline was armed (0 for the
   /// infinite deadline), plus any modeled charge.
   double ElapsedMillis() const {
-    if (!has_budget_) return charged_ms_;
+    if (!has_budget_) return charged_millis();
     auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         Clock::now() - start_);
-    return static_cast<double>(elapsed.count()) / 1000.0 + charged_ms_;
+    return static_cast<double>(elapsed.count()) / 1000.0 + charged_millis();
   }
 
   /// Milliseconds left before expiry; +inf for the infinite deadline,
@@ -64,20 +87,28 @@ class Deadline {
   bool expired() const { return has_budget_ && RemainingMillis() <= 0.0; }
 
   /// Debits `ms` of modeled time (simulated device latency, modeled
-  /// backoff) against the budget. No-op for the infinite deadline.
+  /// backoff) against the budget. No-op for non-positive `ms`. Thread-safe:
+  /// concurrent charges accumulate without losing updates (CAS loop —
+  /// `std::atomic<double>` has no fetch_add before C++20).
   void Charge(double ms) {
-    if (ms > 0.0) charged_ms_ += ms;
+    if (ms <= 0.0) return;
+    double current = charged_ms_.load(std::memory_order_relaxed);
+    while (!charged_ms_.compare_exchange_weak(current, current + ms,
+                                              std::memory_order_relaxed)) {
+    }
   }
 
   /// Total modeled time charged so far.
-  double charged_millis() const { return charged_ms_; }
+  double charged_millis() const {
+    return charged_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
 
   bool has_budget_ = false;
   double budget_ms_ = 0.0;
-  double charged_ms_ = 0.0;
+  std::atomic<double> charged_ms_{0.0};
   Clock::time_point start_{};
 };
 

@@ -29,6 +29,29 @@
 /// attempt or cycle number), `probability` adds a seeded Bernoulli on every
 /// key, and `latency_ms` models a latency spike whenever the site fires
 /// (optionally backed by a real sleep).
+///
+/// Registered fault-site vocabulary (sites are created by arming them; this
+/// is the catalog of what the solve path queries):
+///
+///   device.program / device.latency       keyed by epoch-gauge
+///   device.read_dropout / device.chain_break  keyed by epoch<<32 | read
+///   device.stuck_qubit                    keyed by qubit id
+///   embed.compile                         keyed by attempt
+///   pipeline.solve                        keyed by attempt
+///   solve.device / solve.sqa / solve.sa / solve.greedy
+///                                         keyed by 0-based attempt
+///
+/// Service-layer sites (see service/solve_service.h):
+///
+///   service.queue_stall   keyed by scheduling round — the round's modeled
+///                         clock advances by the spec's latency_ms, so
+///                         queued requests age toward their deadlines
+///   service.worker_crash  keyed by request id — the worker session solving
+///                         that request dies mid-flight; the request fails
+///                         with Internal instead of producing a result
+///   service.brownout      keyed by request id — the device backend browns
+///                         out for that request; admission degrades the
+///                         entry rung to the first classical backend
 
 #include <atomic>
 #include <cstdint>

@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kTimeout,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -72,6 +73,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

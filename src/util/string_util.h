@@ -25,6 +25,19 @@ std::string Trim(const std::string& s);
 /// True when `s` begins with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 
+/// Parses a whole decimal integer into `*out`. False (out untouched) when
+/// `s` is empty, has trailing garbage, or does not fit an int — unlike
+/// `atoi`, which silently returns 0 on garbage and has undefined behavior
+/// on overflow. Deserializers use this so hostile payloads become typed
+/// parse errors, never wrong values.
+bool ParseInt(const std::string& s, int* out);
+
+/// Parses a whole finite double into `*out`. False when `s` is empty, has
+/// trailing garbage, overflows, or encodes NaN/infinity — non-finite
+/// values poison cost arithmetic downstream (NaN slips through every
+/// `< 0` validation), so wire parsers reject them at the boundary.
+bool ParseFiniteDouble(const std::string& s, double* out);
+
 }  // namespace qmqo
 
 #endif  // QMQO_UTIL_STRING_UTIL_H_

@@ -1,0 +1,171 @@
+// Tests for the service's per-backend circuit breaker: the rolling-window
+// state machine (closed -> open -> half-open -> closed/open), latency-as-
+// failure classification, probe budgeting with re-arm, and counters. All
+// timestamps are modeled milliseconds — the breaker has no clock of its
+// own, which is what makes these transitions exactly testable.
+
+#include "service/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace qmqo {
+namespace service {
+namespace {
+
+CircuitBreakerOptions SmallOptions() {
+  CircuitBreakerOptions options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.failure_rate_to_open = 0.5;
+  options.open_cooldown_ms = 100.0;
+  options.half_open_probes = 1;
+  options.successes_to_close = 1;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAdmits) {
+  CircuitBreaker breaker(SmallOptions());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Admit(0.0).ok());
+  EXPECT_EQ(breaker.admitted(), 1);
+  EXPECT_EQ(breaker.WindowFailureRate(), 0.0);
+}
+
+TEST(CircuitBreakerTest, MinSamplesGuardsColdOpen) {
+  CircuitBreaker breaker(SmallOptions());
+  // Three failures: rate 1.0 but below min_samples — stays closed.
+  for (int i = 0; i < 3; ++i) breaker.Record(false, 0.0, 0.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // The fourth reaches min_samples at rate 1.0 >= 0.5 — opens.
+  breaker.Record(false, 0.0, 10.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1);
+}
+
+TEST(CircuitBreakerTest, OpensOnWindowedRateNotStreak) {
+  CircuitBreaker breaker(SmallOptions());
+  // Successes first, then failures: the breaker opens exactly when the
+  // window rate reaches 0.5, not on any failure streak length.
+  for (int i = 0; i < 3; ++i) breaker.Record(true, 0.0, 0.0);
+  breaker.Record(false, 0.0, 0.0);  // rate 1/4
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.Record(false, 0.0, 0.0);  // rate 2/5
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.Record(false, 0.0, 0.0);  // rate 3/6 = 0.5
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsUntilCooldown) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.Record(false, 0.0, 50.0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  Status rejected = breaker.Admit(149.0);  // opened at 50, cooldown 100
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(breaker.rejected(), 1);
+  // At 150 the cooldown has elapsed: half-open, one probe admitted.
+  EXPECT_TRUE(breaker.Admit(150.0).ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.Record(false, 0.0, 0.0);
+  ASSERT_TRUE(breaker.Admit(100.0).ok());
+  breaker.Record(true, 0.0, 100.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.times_closed(), 1);
+  // The window was reset on close: old failures don't re-open it.
+  breaker.Record(false, 0.0, 101.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopens) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.Record(false, 0.0, 0.0);
+  ASSERT_TRUE(breaker.Admit(100.0).ok());
+  breaker.Record(false, 0.0, 100.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2);
+  // The new open episode restarts the cooldown from the probe failure.
+  EXPECT_EQ(breaker.Admit(150.0).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(breaker.Admit(200.0).ok());
+}
+
+TEST(CircuitBreakerTest, ProbeBudgetLimitsHalfOpenAdmissions) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.Record(false, 0.0, 0.0);
+  ASSERT_TRUE(breaker.Admit(100.0).ok());
+  // Budget (1 probe) spent; a second request at the same time is rejected.
+  EXPECT_EQ(breaker.Admit(100.0).code(), StatusCode::kUnavailable);
+}
+
+TEST(CircuitBreakerTest, ProbeBudgetReArmsAfterSilentCooldown) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.Record(false, 0.0, 0.0);
+  ASSERT_TRUE(breaker.Admit(100.0).ok());
+  // The probe never reports back (an earlier ladder rung answered). After
+  // another full cooldown the budget re-arms instead of wedging half-open.
+  EXPECT_EQ(breaker.Admit(199.0).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(breaker.Admit(200.0).ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, SlowSuccessCountsAsFailure) {
+  CircuitBreakerOptions options = SmallOptions();
+  options.latency_threshold_ms = 10.0;
+  CircuitBreaker breaker(options);
+  // OK outcomes, but 50 ms modeled latency against a 10 ms SLA: the
+  // browned-out backend opens the breaker just like a crashing one.
+  for (int i = 0; i < 4; ++i) breaker.Record(true, 50.0, 0.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // Fast OK outcomes stay successes.
+  CircuitBreaker fast(options);
+  for (int i = 0; i < 8; ++i) fast.Record(true, 5.0, 0.0);
+  EXPECT_EQ(fast.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, StragglerOutcomeWhileOpenIsIgnored) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.Record(false, 0.0, 0.0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // A late success from a request admitted before the open must not close
+  // the breaker out of band.
+  breaker.Record(true, 0.0, 1.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, SuccessesToCloseRequiresStreak) {
+  CircuitBreakerOptions options = SmallOptions();
+  options.half_open_probes = 2;
+  options.successes_to_close = 2;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 4; ++i) breaker.Record(false, 0.0, 0.0);
+  ASSERT_TRUE(breaker.Admit(100.0).ok());
+  ASSERT_TRUE(breaker.Admit(100.0).ok());
+  breaker.Record(true, 0.0, 100.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.Record(true, 0.0, 100.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, WindowEvictsOldOutcomes) {
+  CircuitBreaker breaker(SmallOptions());
+  // One early failure, then a run of successes: the failure ages out of
+  // the window (size 8) and the rate returns to zero.
+  breaker.Record(false, 0.0, 0.0);
+  for (int i = 0; i < 11; ++i) breaker.Record(true, 0.0, 0.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.WindowFailureRate(), 0.0);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace qmqo

@@ -1,0 +1,83 @@
+// Tests for util::Deadline, in particular the thread-safety contract of
+// `Charge`: the solve service's worker lanes charge one shared per-request
+// deadline concurrently, and the modeled debit must accumulate exactly —
+// a lost update would silently extend a request's budget.
+
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "util/executor.h"
+
+namespace qmqo {
+namespace util {
+namespace {
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_FALSE(d.has_budget());
+  EXPECT_FALSE(d.expired());
+  d.Charge(1e18);
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.RemainingMillis(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0.0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5.0).expired());
+}
+
+TEST(DeadlineTest, ModeledChargeExpiresWithoutWallTime) {
+  Deadline d = Deadline::AfterMillis(100.0);
+  EXPECT_FALSE(d.expired());
+  d.Charge(60.0);
+  EXPECT_FALSE(d.expired());
+  d.Charge(60.0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.charged_millis(), 120.0);
+  EXPECT_EQ(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveChargeIsIgnored) {
+  Deadline d = Deadline::AfterMillis(1e9);
+  d.Charge(0.0);
+  d.Charge(-10.0);
+  EXPECT_EQ(d.charged_millis(), 0.0);
+}
+
+TEST(DeadlineTest, CopySnapshotsChargeAndDiverges) {
+  Deadline a = Deadline::AfterMillis(1e9);
+  a.Charge(5.0);
+  Deadline b = a;
+  EXPECT_EQ(b.charged_millis(), 5.0);
+  b.Charge(7.0);
+  EXPECT_EQ(a.charged_millis(), 5.0);
+  EXPECT_EQ(b.charged_millis(), 12.0);
+  a = b;
+  EXPECT_EQ(a.charged_millis(), 12.0);
+}
+
+// The exactness contract: 0.25 is a power of two, so every partial sum is
+// exactly representable and the final total is independent of the
+// interleaving — any lost CAS update shows up as a wrong total.
+TEST(DeadlineTest, ConcurrentChargesAccumulateExactly) {
+  Executor executor(8);
+  Deadline d = Deadline::AfterMillis(1e9);
+  const int kCharges = 8000;
+  executor.ParallelFor(kCharges, [&](int) { d.Charge(0.25); });
+  EXPECT_EQ(d.charged_millis(), 0.25 * kCharges);
+}
+
+TEST(DeadlineTest, ConcurrentChargesCrossExpiryExactlyOnce) {
+  Executor executor(4);
+  // 400 x 0.5 ms against a 100 ms budget: the deadline must expire and the
+  // charge must still be exact (no double counting near the boundary).
+  Deadline d = Deadline::AfterMillis(100.0);
+  executor.ParallelFor(400, [&](int) { d.Charge(0.5); });
+  EXPECT_EQ(d.charged_millis(), 200.0);
+  EXPECT_TRUE(d.expired());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace qmqo

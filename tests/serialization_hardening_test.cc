@@ -1,0 +1,189 @@
+// Hostile-input hardening of the wire formats (mqo and qubo text
+// serialization). The service deserializes untrusted payloads, so the
+// contract is: any byte string either parses into a validated instance or
+// comes back as a typed InvalidArgument/OutOfRange — never an assert, an
+// abort, a silently-wrong value (atoi's 0-on-garbage), or an
+// attacker-sized allocation.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mqo/problem.h"
+#include "mqo/serialization.h"
+#include "qubo/qubo.h"
+#include "qubo/serialization.h"
+#include "util/rng.h"
+
+namespace qmqo {
+namespace {
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("QMQO_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+mqo::MqoProblem RandomProblem(Rng* rng) {
+  mqo::MqoProblem problem;
+  const int queries = rng->UniformInt(2, 6);
+  for (int q = 0; q < queries; ++q) {
+    std::vector<double> costs;
+    const int plans = rng->UniformInt(1, 4);
+    for (int p = 0; p < plans; ++p) {
+      costs.push_back(static_cast<double>(rng->UniformInt(1, 50)));
+    }
+    problem.AddQuery(std::move(costs));
+  }
+  const int savings = rng->UniformInt(0, 2 * queries);
+  for (int s = 0; s < savings; ++s) {
+    int a = rng->UniformInt(0, problem.num_plans() - 1);
+    int b = rng->UniformInt(0, problem.num_plans() - 1);
+    if (problem.query_of(a) == problem.query_of(b)) continue;
+    (void)problem.AddSaving(a, b, static_cast<double>(rng->UniformInt(1, 5)));
+  }
+  return problem;
+}
+
+TEST(MqoSerializationHardeningTest, SeededRoundTrip) {
+  Rng rng(ChaosSeed());
+  for (int i = 0; i < 25; ++i) {
+    mqo::MqoProblem problem = RandomProblem(&rng);
+    std::string text = mqo::ToText(problem);
+    auto parsed = mqo::FromText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    // Canonical-text equality is the strongest round-trip check the
+    // format offers: it covers costs, query partitioning, and savings.
+    EXPECT_EQ(mqo::ToText(*parsed), text);
+  }
+}
+
+TEST(MqoSerializationHardeningTest, TruncationAtEveryPrefixIsSafe) {
+  Rng rng(ChaosSeed() + 2);
+  mqo::MqoProblem problem = RandomProblem(&rng);
+  std::string text = mqo::ToText(problem);
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    auto parsed = mqo::FromText(text.substr(0, cut));
+    // A prefix either fails with a typed status or (when the cut lands
+    // after a complete 'end') yields an instance that validates.
+    if (parsed.ok()) {
+      EXPECT_TRUE(parsed->Validate().ok());
+    } else {
+      EXPECT_FALSE(parsed.status().ok());
+    }
+  }
+}
+
+TEST(MqoSerializationHardeningTest, MutationFuzzNeverCrashes) {
+  Rng rng(ChaosSeed() + 17);
+  const char kBytes[] = "0123456789-+.eE naninf#\t qs";
+  for (int round = 0; round < 200; ++round) {
+    std::string text = mqo::ToText(RandomProblem(&rng));
+    const int mutations = rng.UniformInt(1, 8);
+    for (int m = 0; m < mutations; ++m) {
+      size_t at = static_cast<size_t>(
+          rng.UniformInt64(0, static_cast<int64_t>(text.size()) - 1));
+      text[at] = kBytes[rng.UniformInt(0, sizeof(kBytes) - 2)];
+    }
+    auto parsed = mqo::FromText(text);
+    if (parsed.ok()) {
+      EXPECT_TRUE(parsed->Validate().ok());
+    }
+  }
+}
+
+TEST(MqoSerializationHardeningTest, RejectsHostilePayloads) {
+  // Non-finite costs and savings.
+  EXPECT_FALSE(mqo::FromText("mqo v1\nquery nan\nend\n").ok());
+  EXPECT_FALSE(mqo::FromText("mqo v1\nquery inf\nend\n").ok());
+  EXPECT_FALSE(
+      mqo::FromText("mqo v1\nquery 1\nquery 1\nsaving 0 1 nan\nend\n").ok());
+  EXPECT_FALSE(
+      mqo::FromText("mqo v1\nquery 1\nquery 1\nsaving 0 1 inf\nend\n").ok());
+  // Overflowing plan ids used to go through atoi (undefined behavior).
+  EXPECT_FALSE(mqo::FromText("mqo v1\nquery 1\nquery 1\n"
+                             "saving 99999999999999999999 1 2\nend\n")
+                   .ok());
+  // Garbage ids used to silently parse as 0.
+  EXPECT_FALSE(
+      mqo::FromText("mqo v1\nquery 1\nquery 1\nsaving xx 1 2\nend\n").ok());
+  // Trailing junk on numeric fields.
+  EXPECT_FALSE(mqo::FromText("mqo v1\nquery 1abc\nend\n").ok());
+  // Wrong field count.
+  EXPECT_FALSE(
+      mqo::FromText("mqo v1\nquery 1\nquery 1\nsaving 0 1 2 3\nend\n").ok());
+  // Missing terminator / header.
+  EXPECT_FALSE(mqo::FromText("mqo v1\nquery 1\n").ok());
+  EXPECT_FALSE(mqo::FromText("query 1\nend\n").ok());
+}
+
+TEST(MqoSerializationHardeningTest, RejectsOversizedPayloadCheaply) {
+  std::string huge(17u << 20, '#');
+  auto parsed = mqo::FromText(huge);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QuboSerializationHardeningTest, SeededRoundTrip) {
+  Rng rng(ChaosSeed() + 99);
+  for (int i = 0; i < 25; ++i) {
+    const int n = rng.UniformInt(2, 12);
+    qubo::QuboProblem problem(n);
+    for (int v = 0; v < n; ++v) {
+      problem.AddLinear(v, rng.UniformReal(-4.0, 4.0));
+    }
+    for (int e = 0; e < n; ++e) {
+      int a = rng.UniformInt(0, n - 1);
+      int b = rng.UniformInt(0, n - 1);
+      if (a != b) problem.AddQuadratic(a, b, rng.UniformReal(-2.0, 2.0));
+    }
+    std::string text = qubo::ToText(problem);
+    auto parsed = qubo::FromText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(qubo::ToText(*parsed), text);
+  }
+}
+
+TEST(QuboSerializationHardeningTest, TruncationAndMutationAreSafe) {
+  Rng rng(ChaosSeed() + 5);
+  qubo::QuboProblem problem(6);
+  for (int v = 0; v < 6; ++v) problem.AddLinear(v, v - 2.5);
+  problem.AddQuadratic(0, 3, 1.5);
+  problem.AddQuadratic(2, 5, -0.75);
+  std::string text = qubo::ToText(problem);
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    (void)qubo::FromText(text.substr(0, cut));  // must not crash
+  }
+  const char kBytes[] = "0123456789-+.eE naninf#\t lq";
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = text;
+    const int mutations = rng.UniformInt(1, 6);
+    for (int m = 0; m < mutations; ++m) {
+      size_t at = static_cast<size_t>(
+          rng.UniformInt64(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[at] = kBytes[rng.UniformInt(0, sizeof(kBytes) - 2)];
+    }
+    (void)qubo::FromText(mutated);  // must not crash or UB
+  }
+}
+
+TEST(QuboSerializationHardeningTest, RejectsHostilePayloads) {
+  // A tiny header must not be able to request a gigabyte allocation.
+  EXPECT_FALSE(qubo::FromText("qubo v1 999999999\nend\n").ok());
+  EXPECT_FALSE(qubo::FromText("qubo v1 99999999999999999999\nend\n").ok());
+  EXPECT_FALSE(qubo::FromText("qubo v1 -3\nend\n").ok());
+  EXPECT_FALSE(qubo::FromText("qubo v1 x\nend\n").ok());
+  // Out-of-range and malformed terms.
+  EXPECT_FALSE(qubo::FromText("qubo v1 2\nlin 5 1\nend\n").ok());
+  EXPECT_FALSE(qubo::FromText("qubo v1 2\nquad 0 0 1\nend\n").ok());
+  EXPECT_FALSE(qubo::FromText("qubo v1 2\nlin 0 nan\nend\n").ok());
+  EXPECT_FALSE(qubo::FromText("qubo v1 2\nlin 0 1 extra\nend\n").ok());
+  EXPECT_FALSE(qubo::FromText("qubo v1 2\nlin 0abc 1\nend\n").ok());
+  // Valid boundary case still parses.
+  EXPECT_TRUE(qubo::FromText("qubo v1 2\nlin 0 1\nquad 0 1 -1\nend\n").ok());
+}
+
+}  // namespace
+}  // namespace qmqo
