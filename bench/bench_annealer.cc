@@ -29,6 +29,7 @@
 #include "chimera/topology.h"
 #include "harness/paper_workload.h"
 #include "harness/resilient_solver.h"
+#include "obs/trace.h"
 #include "qubo/ising.h"
 #include "util/executor.h"
 #include "util/rng.h"
@@ -357,6 +358,10 @@ int main() {
   // cost of the fault machinery), which diff_bench.py gates. ---
   double resilient_wall_ms = 0.0;
   harness::SolveReport solve_report;
+  // Traced (the per-stage rows below come from its span tree); the timed
+  // engine rows above run untraced, so the trace costs the hot path
+  // nothing.
+  obs::SolveTrace solve_trace;
   {
     Rng workload_rng(4);
     chimera::ChimeraGraph chip(4, 4, 4);
@@ -377,6 +382,7 @@ int main() {
     solve_options.device.sa_sweeps = 64;
     solve_options.device.num_threads = 4;
     solve_options.device.executor = &pool;
+    solve_options.trace = &solve_trace;
     Stopwatch clock;
     solve_report = harness::ResilientSolver(policy).Solve(
         paper->problem, paper->embedding, chip, solve_options);
@@ -393,6 +399,12 @@ int main() {
         solve_report.cost,
         static_cast<long long>(solve_report.faults_observed),
         solve_report.retries, solve_report.fallbacks);
+    std::printf(
+        "  stages: embed=%.2f anneal=%.2f unembed=%.2f merge=%.2f ms (wall)\n",
+        solve_trace.WallTotal("pipeline.embed"),
+        solve_trace.WallTotal("pipeline.anneal"),
+        solve_trace.WallTotal("pipeline.unembed"),
+        solve_trace.WallTotal("pipeline.merge"));
   }
 
   // Pool-reuse gate: every parallel run above must have executed on the
@@ -435,6 +447,13 @@ int main() {
            static_cast<int64_t>(solve_report.faults_observed))
       .Add("solver_retries", solve_report.retries)
       .Add("solver_fallbacks", solve_report.fallbacks)
+      .Add("stage_embed_wall_ms", solve_trace.WallTotal("pipeline.embed"))
+      .Add("stage_anneal_wall_ms", solve_trace.WallTotal("pipeline.anneal"))
+      .Add("stage_unembed_wall_ms", solve_trace.WallTotal("pipeline.unembed"))
+      .Add("stage_merge_wall_ms", solve_trace.WallTotal("pipeline.merge"))
+      .Add("stage_anneal_modeled_ms",
+           solve_trace.ModeledTotal("pipeline.anneal"))
+      .Add("trace_spans", static_cast<int64_t>(solve_trace.spans().size()))
       .Add("executor_pool_size", pool.num_threads())
       .Add("workers_spawned_during_runs",
            static_cast<int64_t>(workers_spawned_during_runs))

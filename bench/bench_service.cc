@@ -18,9 +18,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_common.h"
 #include "chimera/topology.h"
 #include "harness/paper_workload.h"
+#include "obs/trace.h"
 #include "service/solve_service.h"
 #include "util/fault.h"
 #include "util/rng.h"
@@ -64,10 +67,14 @@ double Percentile(std::vector<double> values, double p) {
 }
 
 /// One sustained-load run: submit every instance (overfilling the queue),
-/// then drain to empty. Returns outcomes in settle order.
+/// then drain to empty. Returns outcomes in settle order. When `tracer` /
+/// `prom_out` are set (the serial run), the run is traced and its final
+/// Prometheus exposition captured.
 LoadResult RunLoad(const chimera::ChimeraGraph& graph,
                    const std::vector<harness::PaperInstance>& instances,
-                   int num_requests, int num_threads) {
+                   int num_requests, int num_threads,
+                   obs::Tracer* tracer = nullptr,
+                   std::string* prom_out = nullptr) {
   service::ServiceOptions options;
   options.graph = &graph;
   options.num_threads = num_threads;
@@ -91,6 +98,7 @@ LoadResult RunLoad(const chimera::ChimeraGraph& graph,
   pacing.latency_ms = 5.0;
   faults.Arm("service.queue_stall", pacing);
   options.faults = &faults;
+  options.tracer = tracer;
 
   service::SolveService solve_service(options);
   Stopwatch watch;
@@ -112,6 +120,7 @@ LoadResult RunLoad(const chimera::ChimeraGraph& graph,
     result.modeled_latency_ms.push_back(outcome.queue_wait_modeled_ms +
                                         outcome.solve_modeled_ms);
   }
+  if (prom_out != nullptr) *prom_out = solve_service.metrics().PrometheusText();
   return result;
 }
 
@@ -143,10 +152,18 @@ int main() {
   root.Add("full_scale", bench::FullScale());
 
   LoadResult serial;
+  obs::Tracer serial_tracer;
+  std::string serial_prom;
   bool all_identical = true;
   bench::JsonArray runs;
   for (int threads : {1, 2, 4}) {
-    LoadResult result = RunLoad(graph, instances, num_requests, threads);
+    // Trace + snapshot the serial run only; it is the deterministic
+    // reference the stage breakdown and the .prom artifact describe.
+    LoadResult result =
+        threads == 1
+            ? RunLoad(graph, instances, num_requests, threads, &serial_tracer,
+                      &serial_prom)
+            : RunLoad(graph, instances, num_requests, threads);
     bool identical = true;
     if (threads == 1) {
       serial = result;
@@ -191,6 +208,27 @@ int main() {
                 static_cast<double>(serial.stats.accepted)
           : 0.0;
   root.Add("shed_rate", shed_rate);
+
+  // Per-stage modeled-time breakdown of the serial run, summed over its
+  // span trees (deterministic: same on every machine for this seed).
+  root.Add("stage_request_modeled_ms",
+           serial_tracer.ModeledTotal("service.request"));
+  root.Add("stage_attempt_modeled_ms",
+           serial_tracer.ModeledTotal("solve.attempt"));
+  root.Add("stage_anneal_modeled_ms",
+           serial_tracer.ModeledTotal("pipeline.anneal"));
+  root.Add("stage_embed_wall_ms", serial_tracer.WallTotal("pipeline.embed"));
+  root.Add("stage_unembed_wall_ms",
+           serial_tracer.WallTotal("pipeline.unembed"));
+  root.Add("stage_merge_wall_ms", serial_tracer.WallTotal("pipeline.merge"));
+  root.Add("trace_count", static_cast<int64_t>(serial_tracer.size()));
+  std::printf(
+      "stages (serial, modeled): request=%.1f attempt=%.1f anneal=%.1f ms; "
+      "%zu traces\n",
+      serial_tracer.ModeledTotal("service.request"),
+      serial_tracer.ModeledTotal("solve.attempt"),
+      serial_tracer.ModeledTotal("pipeline.anneal"), serial_tracer.size());
+
   root.Add("all_identical_to_serial", all_identical);
   std::printf("accepted=%lld rejected=%lld shed_rate=%.3f\n",
               static_cast<long long>(serial.stats.accepted),
@@ -203,6 +241,27 @@ int main() {
     return 1;
   }
   std::printf("wrote %s\n", path.c_str());
+
+  // The serial run's full metric snapshot as Prometheus text exposition,
+  // next to the JSON artifact (CI checks it parses: bench/check_prom.py).
+  {
+    const char* dir = std::getenv("QMQO_BENCH_OUT_DIR");
+    std::string prom_path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "") +
+        "BENCH_service.prom";
+    std::ofstream prom(prom_path);
+    if (!prom) {
+      std::fprintf(stderr, "failed to write %s\n", prom_path.c_str());
+      return 1;
+    }
+    prom << serial_prom;
+    prom.flush();
+    if (!prom) {
+      std::fprintf(stderr, "failed to write %s\n", prom_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", prom_path.c_str());
+  }
 
   if (!all_identical) {
     std::fprintf(stderr,

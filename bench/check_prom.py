@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (e.g. BENCH_service.prom).
+
+Usage:
+    check_prom.py FILE [FILE...]
+
+Checks, per file:
+  * every line is a comment (# HELP / # TYPE), blank, or a sample line
+    `name{labels} value` with a well-formed metric name, label syntax, and
+    a parseable value (float, integer, +Inf, -Inf, NaN),
+  * every sample's base family has a preceding # TYPE line,
+  * TYPE values are one of counter/gauge/histogram/summary/untyped,
+  * histogram families expose _bucket series with an `le` label,
+    cumulative and ending in le="+Inf", plus _sum and _count,
+  * counter and histogram-count values are non-negative.
+
+Exits nonzero (listing every violation) when any check fails — CI runs
+this after bench_service to guarantee the exposition endpoint's output
+stays scrapeable.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                    r"(?:\{(?P<labels>.*)\})?"
+                    r" (?P<value>\S+)$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN", "Inf"):
+        return float(text.replace("Inf", "inf"))
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name):
+    """Histogram series name -> family: x_bucket/x_sum/x_count -> x."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        return [f"{path}: cannot read: {error}"]
+
+    types = {}  # family -> declared type
+    histogram_buckets = {}  # family -> list of (le, value)
+    histogram_parts = {}  # family -> set of seen suffixes
+    samples = 0
+
+    for number, line in enumerate(lines, start=1):
+        where = f"{path}:{number}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                    errors.append(f"{where}: malformed {parts[1]} line")
+                elif parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in TYPES:
+                        errors.append(f"{where}: unknown TYPE "
+                                      f"{parts[3] if len(parts) > 3 else '?'}")
+                    else:
+                        types[parts[2]] = parts[3]
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        labels = {}
+        if match.group("labels") is not None:
+            for pair in split_labels(match.group("labels")):
+                if not LABEL.match(pair):
+                    errors.append(f"{where}: malformed label {pair!r}")
+                else:
+                    key, value = pair.split("=", 1)
+                    labels[key] = value[1:-1]
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            errors.append(f"{where}: unparseable value "
+                          f"{match.group('value')!r}")
+            continue
+
+        family = family_of(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            errors.append(f"{where}: sample {name!r} has no preceding "
+                          "# TYPE line")
+            continue
+        if declared == "counter" and value < 0:
+            errors.append(f"{where}: counter {name!r} is negative")
+        if declared == "histogram":
+            histogram_parts.setdefault(family, set())
+            if name.endswith("_bucket"):
+                histogram_parts[family].add("_bucket")
+                if "le" not in labels:
+                    errors.append(f"{where}: histogram bucket without an "
+                                  "'le' label")
+                else:
+                    histogram_buckets.setdefault(family, []).append(
+                        (labels["le"], value))
+            elif name.endswith("_sum"):
+                histogram_parts[family].add("_sum")
+            elif name.endswith("_count"):
+                histogram_parts[family].add("_count")
+                if value < 0:
+                    errors.append(f"{where}: histogram count {name!r} is "
+                                  "negative")
+            else:
+                errors.append(f"{where}: series {name!r} of histogram "
+                              f"family {family!r} is not "
+                              "_bucket/_sum/_count")
+
+    for family, parts in sorted(histogram_parts.items()):
+        missing = {"_bucket", "_sum", "_count"} - parts
+        if missing:
+            errors.append(f"{path}: histogram {family!r} is missing "
+                          f"{sorted(missing)} series")
+    for family, buckets in sorted(histogram_buckets.items()):
+        if buckets and buckets[-1][0] != "+Inf":
+            errors.append(f"{path}: histogram {family!r} buckets do not "
+                          'end in le="+Inf"')
+        values = [value for _, value in buckets]
+        if values != sorted(values):
+            errors.append(f"{path}: histogram {family!r} buckets are not "
+                          "cumulative")
+
+    if samples == 0 and not errors:
+        errors.append(f"{path}: no sample lines found")
+    return errors
+
+
+def split_labels(text):
+    """Split 'a="b",c="d,e"' on commas outside quoted values."""
+    parts = []
+    current = ""
+    in_quotes = False
+    escaped = False
+    for char in text:
+        if escaped:
+            current += char
+            escaped = False
+        elif char == "\\":
+            current += char
+            escaped = True
+        elif char == '"':
+            current += char
+            in_quotes = not in_quotes
+        elif char == "," and not in_quotes:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    if current:
+        parts.append(current)
+    return parts
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    failures = []
+    for path in sys.argv[1:]:
+        failures.extend(check_file(path))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(sys.argv) - 1} exposition file(s) parse cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

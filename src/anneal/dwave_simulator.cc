@@ -162,6 +162,11 @@ Result<DeviceResult> DWaveSimulator::Sample(
     int reads = std::min(reads_per_gauge, reads_left);
     if (g + 1 == options_.num_gauges) reads = reads_left;
     reads_left -= reads;
+    // Serial per-cycle timing (the gauge loop itself never runs in
+    // parallel), consumed by the trace layer as one span per gauge.
+    Stopwatch gauge_wall;
+    const int dropped_before = result.dropped_reads;
+    const double latency_before = result.injected_latency_ms;
 
     if (faults != nullptr) {
       const uint64_t cycle_key = CycleFaultKey(epoch, options_.num_gauges, g);
@@ -301,6 +306,13 @@ Result<DeviceResult> DWaveSimulator::Sample(
       }
     }
     read_base += reads;
+    GaugeTiming timing;
+    timing.gauge = g;
+    timing.reads = reads;
+    timing.dropped_reads = result.dropped_reads - dropped_before;
+    timing.wall_ms = gauge_wall.ElapsedMillis();
+    timing.injected_latency_ms = result.injected_latency_ms - latency_before;
+    result.gauge_timings.push_back(timing);
   }
   if (result.samples.samples().empty()) {
     // Every read dropped: nothing to report. Surfaced as a typed error so

@@ -23,6 +23,7 @@
 /// simulated quantum annealing on the noisy, gauged Ising problem.
 
 #include <cstdint>
+#include <vector>
 
 #include "anneal/packed.h"
 #include "anneal/sample_set.h"
@@ -117,6 +118,18 @@ struct DWaveOptions {
   uint64_t fault_epoch = 0;
 };
 
+/// Per-gauge (programming-cycle) timing, recorded serially in gauge order
+/// so observability layers can build one span per gauge without threading
+/// a tracer through the device. `wall_ms` is nondeterministic; everything
+/// else is pure in (options, seed, faults).
+struct GaugeTiming {
+  int gauge = 0;
+  int reads = 0;          ///< reads scheduled for this gauge
+  int dropped_reads = 0;  ///< reads lost to injected dropout in this gauge
+  double wall_ms = 0.0;   ///< wall time of this programming cycle
+  double injected_latency_ms = 0.0;  ///< latency faults fired this cycle
+};
+
 /// Result of one device call.
 struct DeviceResult {
   /// Samples over the physical variables, energies w.r.t. the *original*
@@ -141,6 +154,8 @@ struct DeviceResult {
   /// Modeled latency injected by "device.latency" faults, milliseconds
   /// (not included in `device_time_us`; callers charge it to deadlines).
   double injected_latency_ms = 0.0;
+  /// One entry per executed programming cycle, in gauge order.
+  std::vector<GaugeTiming> gauge_timings;
 };
 
 /// The device façade.

@@ -23,6 +23,7 @@
 #include "mapping/logical_mapping.h"
 #include "mqo/problem.h"
 #include "mqo/solution.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace qmqo {
@@ -58,6 +59,14 @@ struct QuantumMqoOptions {
   /// repeated structures — bit-identical results, large preprocessing
   /// savings on repeated shapes (retries, per-request re-weights).
   embedding::EmbeddingCache* embedding_cache = nullptr;
+  /// Optional solve trace (never owned; null = no tracing, one pointer
+  /// test per stage). When set, the pipeline opens spans under the
+  /// caller's innermost open span: `pipeline.embed` (tag cache_hit),
+  /// `pipeline.anneal` with one `anneal.gauge` child per programming
+  /// cycle, `pipeline.unembed`, and `pipeline.merge`. Modeled durations
+  /// come from the device-time model (deterministic); wall durations are
+  /// measured and only meaningful to humans.
+  obs::SolveTrace* trace = nullptr;
 };
 
 /// Everything Algorithm 1 produces, plus the paper's measurements.

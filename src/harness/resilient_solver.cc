@@ -244,6 +244,25 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
     return out;
   };
 
+  // One "solve.attempt" span per ladder attempt (and per gate-skipped
+  // rung), nested under whatever span the caller has open. The device
+  // backend's pipeline spans become children automatically: the attempt
+  // options carry the same trace pointer.
+  obs::SolveTrace* trace = options.trace;
+  auto close_attempt_span = [&](const SolveAttempt& rec) {
+    if (trace == nullptr) return;
+    // Tag the status *code* only: messages embed wall times, which would
+    // leak nondeterminism into otherwise deterministic trace dumps.
+    trace->Tag("status",
+               rec.status.ok() ? "ok" : StatusCodeToString(rec.status.code()));
+    if (rec.backoff_ms > 0.0) {
+      trace->Tag("backoff_ms", StrFormat("%.3f", rec.backoff_ms));
+    }
+    if (rec.faults_observed > 0) trace->Tag("faults", rec.faults_observed);
+    trace->AddModeled(rec.modeled_ms);
+    trace->Close(rec.wall_ms);
+  };
+
   Status last_error = Status::Internal("empty backend ladder");
   int backends_tried = 0;
   // Shed-aware entry: under load the service raises `entry_rung` so the
@@ -269,6 +288,14 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
         skipped.backend = backend;
         skipped.attempt = 0;
         skipped.status = gate;
+        if (trace != nullptr) {
+          trace->Open("solve.attempt");
+          trace->Tag("rung", static_cast<int64_t>(rung));
+          trace->Tag("backend", SolveBackendName(backend));
+          trace->Tag("attempt", static_cast<int64_t>(0));
+          trace->Tag("gate", "skipped");
+        }
+        close_attempt_span(skipped);
         report.attempts.push_back(std::move(skipped));
         last_error = std::move(gate);
         continue;
@@ -287,6 +314,12 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
       SolveAttempt rec;
       rec.backend = backend;
       rec.attempt = attempt;
+      if (trace != nullptr) {
+        trace->Open("solve.attempt");
+        trace->Tag("rung", static_cast<int64_t>(rung));
+        trace->Tag("backend", SolveBackendName(backend));
+        trace->Tag("attempt", static_cast<int64_t>(attempt));
+      }
       const int64_t faults_before =
           policy_.faults != nullptr ? policy_.faults->faults_injected() : 0;
       Stopwatch attempt_clock;
@@ -328,6 +361,7 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
         report.cost = out.cost;
         report.final_status = Status::OK();
         report.fallbacks = static_cast<int>(rung);
+        close_attempt_span(rec);
         report.attempts.push_back(std::move(rec));
         break;
       }
@@ -353,6 +387,7 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
           }
         }
       }
+      close_attempt_span(rec);
       report.attempts.push_back(std::move(rec));
     }
     if (tried) ++backends_tried;

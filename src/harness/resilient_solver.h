@@ -29,6 +29,10 @@
 /// Every attempt is recorded in a `SolveReport` (backend, typed status,
 /// wall and modeled time, faults observed, backoff applied), so a caller —
 /// or the chaos suite — can see exactly which failures were absorbed.
+/// When `QuantumMqoOptions::trace` is set, the orchestrator additionally
+/// emits one `solve.attempt` span per ladder attempt (tags: rung, backend,
+/// attempt, status code, backoff, faults) with the pipeline's stage spans
+/// nested under the device attempts — see obs/trace.h.
 /// The orchestrator never throws and never aborts: every failure mode is a
 /// `Status` inside the report.
 

@@ -1,0 +1,329 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace obs {
+namespace internal {
+
+int ThisThreadShard() {
+  // One fetch_add per thread lifetime; threads round-robin over shards so
+  // a pool of <= kMetricShards workers never shares a shard.
+  static std::atomic<int> next_shard{0};
+  thread_local int shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Deterministic, locale-independent number rendering: a pure function of
+/// the value's bits. Integral values print as integers ("25"), others as
+/// the shortest %g form that round-trips ("0.1", "36.5"), falling back to
+/// %.17g (which round-trips every double) when %g loses precision.
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  double integral;
+  if (std::modf(value, &integral) == 0.0 && std::fabs(value) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  std::string compact = StrFormat("%g", value);
+  if (std::strtod(compact.c_str(), nullptr) == value) return compact;
+  return StrFormat("%.17g", value);
+}
+
+/// Name up to the label suffix: "x_total{a=\"b\"}" -> "x_total".
+std::string BaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splices an extra label into a possibly-labeled name:
+/// ("x{a=\"b\"}", "le=\"5\"") -> "x{a=\"b\",le=\"5\"}".
+std::string WithLabel(const std::string& name, const std::string& label) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + label + "}";
+  std::string out = name;
+  out.insert(out.size() - 1, "," + label);
+  return out;
+}
+
+/// Inserts a series suffix before any label block:
+/// ("x{a=\"b\"}", "_sum") -> "x_sum{a=\"b\"}".
+std::string WithSuffix(const std::string& name, const std::string& suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+const char* KindName(MetricPoint::Kind kind) {
+  switch (kind) {
+    case MetricPoint::Kind::kCounter:
+      return "counter";
+    case MetricPoint::Kind::kGauge:
+      return "gauge";
+    case MetricPoint::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<internal::PaddedAtomic[]>(
+      static_cast<size_t>(kMetricShards) * (bounds_.size() + 1));
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value: inclusive upper bounds (Prometheus `le`).
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const int shard = internal::ThisThreadShard();
+  buckets_[static_cast<size_t>(shard) * (bounds_.size() + 1) + bucket]
+      .value.fetch_add(1, std::memory_order_relaxed);
+  counts_[shard].value.fetch_add(1, std::memory_order_relaxed);
+  // Fixed-point accumulation: integer adds are order-independent, so the
+  // snapshot sum is bit-identical at any thread count.
+  sum_thousandths_[shard].value.fetch_add(
+      static_cast<int64_t>(std::llround(value * 1000.0)),
+      std::memory_order_relaxed);
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const auto& shard : counts_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  int64_t total = 0;
+  for (const auto& shard : sum_thousandths_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(total) / 1000.0;
+}
+
+int64_t Histogram::BucketCount(size_t i) const {
+  int64_t total = 0;
+  for (int shard = 0; shard < kMetricShards; ++shard) {
+    total += buckets_[static_cast<size_t>(shard) * (bounds_.size() + 1) + i]
+                 .value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricPoint::Kind::kCounter
+               ? it->second.counter.get()
+               : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricPoint::Kind::kCounter;
+  entry.help = help;
+  entry.counter = std::make_unique<Counter>();
+  return entries_.emplace(name, std::move(entry))
+      .first->second.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricPoint::Kind::kGauge
+               ? it->second.gauge.get()
+               : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricPoint::Kind::kGauge;
+  entry.help = help;
+  entry.gauge = std::make_unique<Gauge>();
+  return entries_.emplace(name, std::move(entry)).first->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricPoint::Kind::kHistogram
+               ? it->second.histogram.get()
+               : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricPoint::Kind::kHistogram;
+  entry.help = help;
+  entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return entries_.emplace(name, std::move(entry))
+      .first->second.histogram.get();
+}
+
+void MetricsRegistry::AddCollector(
+    std::function<void(MetricsRegistry*)> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+MetricsSnapshot MetricsRegistry::Collect() {
+  // Collectors run outside the lock (they call counter()/gauge(), which
+  // locks), serially on this thread, in registration order.
+  std::vector<std::function<void(MetricsRegistry*)>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors = collectors_;
+  }
+  for (auto& collector : collectors) collector(this);
+
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.points.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {  // std::map: name-sorted
+    MetricPoint point;
+    point.name = name;
+    point.help = entry.help;
+    point.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricPoint::Kind::kCounter:
+        point.counter_value = entry.counter->Value();
+        break;
+      case MetricPoint::Kind::kGauge:
+        point.gauge_value = entry.gauge->Value();
+        break;
+      case MetricPoint::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        point.bounds = h.bounds();
+        point.bucket_counts.resize(h.bounds().size() + 1);
+        for (size_t b = 0; b <= h.bounds().size(); ++b) {
+          point.bucket_counts[b] = h.BucketCount(b);
+        }
+        point.count = h.Count();
+        point.sum = h.Sum();
+        break;
+      }
+    }
+    snapshot.points.push_back(std::move(point));
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::PrometheusText() const {
+  // HELP text may be attached to any one point of a labeled family
+  // (registration order is the caller's business); the family's first
+  // non-empty help wins.
+  std::map<std::string, std::string> help_by_base;
+  for (const MetricPoint& point : points) {
+    if (point.help.empty()) continue;
+    help_by_base.emplace(BaseName(point.name), point.help);
+  }
+  std::string out;
+  std::string previous_base;
+  for (const MetricPoint& point : points) {
+    const std::string base = BaseName(point.name);
+    if (base != previous_base) {
+      previous_base = base;
+      auto help = help_by_base.find(base);
+      if (help != help_by_base.end()) {
+        out += "# HELP " + base + " " + help->second + "\n";
+      }
+      out += "# TYPE " + base + " " + KindName(point.kind) + "\n";
+    }
+    switch (point.kind) {
+      case MetricPoint::Kind::kCounter:
+        out += point.name + " " +
+               StrFormat("%lld", static_cast<long long>(point.counter_value)) +
+               "\n";
+        break;
+      case MetricPoint::Kind::kGauge:
+        out += point.name + " " + FormatDouble(point.gauge_value) + "\n";
+        break;
+      case MetricPoint::Kind::kHistogram: {
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < point.bucket_counts.size(); ++b) {
+          cumulative += point.bucket_counts[b];
+          const std::string le =
+              b < point.bounds.size() ? FormatDouble(point.bounds[b]) : "+Inf";
+          out += WithLabel(WithSuffix(point.name, "_bucket"),
+                           "le=\"" + le + "\"") +
+                 " " + StrFormat("%lld", static_cast<long long>(cumulative)) +
+                 "\n";
+        }
+        out += WithSuffix(point.name, "_sum") + " " + FormatDouble(point.sum) +
+               "\n";
+        out += WithSuffix(point.name, "_count") + " " +
+               StrFormat("%lld", static_cast<long long>(point.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::JsonText() const {
+  std::string out = "{";
+  bool first = true;
+  auto add = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + key + "\": " + value;
+  };
+  for (const MetricPoint& point : points) {
+    switch (point.kind) {
+      case MetricPoint::Kind::kCounter:
+        add(point.name,
+            StrFormat("%lld", static_cast<long long>(point.counter_value)));
+        break;
+      case MetricPoint::Kind::kGauge: {
+        const double v = point.gauge_value;
+        add(point.name, std::isfinite(v) ? FormatDouble(v) : "null");
+        break;
+      }
+      case MetricPoint::Kind::kHistogram: {
+        std::string hist = "{\"buckets\": [";
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < point.bucket_counts.size(); ++b) {
+          cumulative += point.bucket_counts[b];
+          if (b > 0) hist += ", ";
+          const std::string le =
+              b < point.bounds.size() ? FormatDouble(point.bounds[b]) : "inf";
+          hist += "{\"le\": \"" + le + "\", \"count\": " +
+                  StrFormat("%lld", static_cast<long long>(cumulative)) + "}";
+        }
+        hist += "], \"sum\": " + FormatDouble(point.sum) + ", \"count\": " +
+                StrFormat("%lld", static_cast<long long>(point.count)) + "}";
+        add(point.name, hist);
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.1, 0.25, 0.5, 1.0,   2.5,   5.0,   10.0,  25.0,
+          50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+}
+
+}  // namespace obs
+}  // namespace qmqo

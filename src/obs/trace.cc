@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <cmath>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace obs {
+
+namespace {
+
+/// Deterministic millisecond rendering quantized to 1/1000 (matching the
+/// histogram fixed-point resolution): "12.345", "0.5", "25".
+std::string FormatMs(double ms) {
+  const int64_t thousandths = static_cast<int64_t>(std::llround(ms * 1000.0));
+  if (thousandths % 1000 == 0) {
+    return StrFormat("%lld", static_cast<long long>(thousandths / 1000));
+  }
+  double quantized = static_cast<double>(thousandths) / 1000.0;
+  std::string out = StrFormat("%.3f", quantized);
+  while (!out.empty() && out.back() == '0') out.pop_back();
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int SolveTrace::Open(const std::string& name) {
+  Span span;
+  span.name = name;
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = open_.empty() ? 0 : spans_[open_.back()].depth + 1;
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(index);
+  return index;
+}
+
+void SolveTrace::Close(double wall_ms) {
+  if (open_.empty()) return;
+  spans_[open_.back()].wall_ms = wall_ms;
+  open_.pop_back();
+}
+
+void SolveTrace::AddModeled(double modeled_ms) {
+  if (open_.empty()) return;
+  spans_[open_.back()].modeled_ms += modeled_ms;
+}
+
+void SolveTrace::Tag(const std::string& key, const std::string& value) {
+  if (open_.empty()) return;
+  spans_[open_.back()].tags.emplace_back(key, value);
+}
+
+void SolveTrace::Tag(const std::string& key, int64_t value) {
+  Tag(key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+void SolveTrace::TagAt(int index, const std::string& key,
+                       const std::string& value) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  spans_[index].tags.emplace_back(key, value);
+}
+
+void SolveTrace::TagAt(int index, const std::string& key, int64_t value) {
+  TagAt(index, key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+void SolveTrace::AddModeledAt(int index, double modeled_ms) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  spans_[index].modeled_ms += modeled_ms;
+}
+
+void SolveTrace::SetWallAt(int index, double wall_ms) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  spans_[index].wall_ms = wall_ms;
+}
+
+double SolveTrace::ModeledTotal(const std::string& name) const {
+  double total = 0.0;
+  for (const Span& span : spans_) {
+    if (span.name == name) total += span.modeled_ms;
+  }
+  return total;
+}
+
+double SolveTrace::WallTotal(const std::string& name) const {
+  double total = 0.0;
+  for (const Span& span : spans_) {
+    if (span.name == name) total += span.wall_ms;
+  }
+  return total;
+}
+
+std::string SolveTrace::JsonLine(bool include_wall) const {
+  std::string out = "{\"spans\": [";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"" + EscapeJson(span.name) + "\"";
+    out += ", \"parent\": " + StrFormat("%d", span.parent);
+    out += ", \"modeled_ms\": " + FormatMs(span.modeled_ms);
+    if (include_wall) {
+      out += ", \"wall_ms\": " + StrFormat("%.3f", span.wall_ms);
+    }
+    if (!span.tags.empty()) {
+      out += ", \"tags\": {";
+      for (size_t t = 0; t < span.tags.size(); ++t) {
+        if (t > 0) out += ", ";
+        out += "\"" + EscapeJson(span.tags[t].first) + "\": \"" +
+               EscapeJson(span.tags[t].second) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SolveTrace::Pretty(bool include_wall) const {
+  std::string out;
+  for (const Span& span : spans_) {
+    out.append(static_cast<size_t>(span.depth) * 2, ' ');
+    out += span.name;
+    out += "  modeled=" + FormatMs(span.modeled_ms) + "ms";
+    if (include_wall) {
+      out += " wall=" + StrFormat("%.3f", span.wall_ms) + "ms";
+    }
+    for (const auto& [key, value] : span.tags) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+SpanScope::SpanScope(SolveTrace* trace, const std::string& name)
+    : trace_(trace) {
+  if (trace_ == nullptr) return;
+  index_ = trace_->Open(name);
+  stopwatch_.Restart();
+}
+
+SpanScope::~SpanScope() {
+  if (trace_ == nullptr) return;
+  trace_->Close(stopwatch_.ElapsedMillis());
+}
+
+void Tracer::Commit(SolveTrace trace) { traces_.push_back(std::move(trace)); }
+
+std::string Tracer::DumpJsonLines(bool include_wall) const {
+  std::string out;
+  for (const SolveTrace& trace : traces_) {
+    out += trace.JsonLine(include_wall);
+    out += "\n";
+  }
+  return out;
+}
+
+double Tracer::ModeledTotal(const std::string& name) const {
+  double total = 0.0;
+  for (const SolveTrace& trace : traces_) total += trace.ModeledTotal(name);
+  return total;
+}
+
+double Tracer::WallTotal(const std::string& name) const {
+  double total = 0.0;
+  for (const SolveTrace& trace : traces_) total += trace.WallTotal(name);
+  return total;
+}
+
+}  // namespace obs
+}  // namespace qmqo

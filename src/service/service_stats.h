@@ -12,6 +12,12 @@
 /// requests" is checkable arithmetic, not a hope. All counters are updated
 /// on the service's serial admission/commit path, so under a fixed chaos
 /// seed they are exact and bit-identical at any worker-thread count.
+///
+/// Since the unified observability layer landed, the counters themselves
+/// live in the service's `obs::MetricsRegistry` (one snapshot surface for
+/// counters, histograms, breaker state, and cache stats); this struct is
+/// the stable accessor API, synthesized by `SolveService::stats()` from
+/// the registry handles. See obs/metrics.h and SolveService::metrics().
 
 #include <cstdint>
 #include <string>

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "embedding/clustered.h"
+#include "embedding/embedding_cache.h"
 #include "mqo/serialization.h"
 #include "util/executor.h"
 #include "util/fault.h"
@@ -36,6 +37,12 @@ struct RoundSlot {
   bool shed = false;     // entry rung degraded by pressure or brownout
   double crash_latency_ms = 0.0;
   harness::SolveReport report;
+  // Per-slot trace: the root span opens at admission (serial), solver
+  // spans nest under it in the worker, the verdict closes it at the
+  // serial commit — then it is committed to the shared Tracer in slot
+  // order, the same discipline that makes outcomes deterministic.
+  obs::SolveTrace trace;
+  int root_span = -1;
 };
 
 }  // namespace
@@ -47,24 +54,144 @@ SolveService::SolveService(const ServiceOptions& options)
                 CircuitBreaker(options.breaker),
                 CircuitBreaker(options.breaker)} {
   if (options_.round_width <= 0) options_.round_width = 4;
+  RegisterMetrics();
+}
+
+void SolveService::RegisterMetrics() {
+  m_submitted_ = registry_.counter("qmqo_service_requests_submitted_total",
+                                   "Submit calls, accepted or not");
+  m_accepted_ = registry_.counter("qmqo_service_requests_accepted_total",
+                                  "Requests admitted into the queue");
+  m_rejected_invalid_ =
+      registry_.counter("qmqo_service_requests_rejected_total{reason=\"invalid\"}",
+                        "Rejected requests by reason");
+  m_rejected_queue_full_ = registry_.counter(
+      "qmqo_service_requests_rejected_total{reason=\"queue_full\"}");
+  m_rejected_shutdown_ = registry_.counter(
+      "qmqo_service_requests_rejected_total{reason=\"shutdown\"}");
+  m_completed_ok_ =
+      registry_.counter("qmqo_service_requests_settled_total{verdict=\"ok\"}",
+                        "Settled requests by verdict");
+  m_completed_failed_ = registry_.counter(
+      "qmqo_service_requests_settled_total{verdict=\"failed\"}");
+  m_expired_in_queue_ = registry_.counter(
+      "qmqo_service_requests_settled_total{verdict=\"expired_in_queue\"}");
+  m_drained_failfast_ = registry_.counter(
+      "qmqo_service_requests_settled_total{verdict=\"drained_failfast\"}");
+  m_shed_degraded_ =
+      registry_.counter("qmqo_service_shed_degraded_total",
+                        "Requests whose ladder entry rung was degraded");
+  m_breaker_skips_ =
+      registry_.counter("qmqo_service_breaker_skips_total",
+                        "Ladder rungs skipped on an open breaker");
+  m_faults_observed_ =
+      registry_.counter("qmqo_service_faults_observed_total",
+                        "Faults observed inside routed solves");
+  for (int b = 0; b < 4; ++b) {
+    m_answered_by_[b] = registry_.counter(
+        StrFormat("qmqo_service_answered_total{backend=\"%s\"}",
+                  harness::SolveBackendName(
+                      static_cast<harness::SolveBackend>(b))),
+        b == 0 ? "Successful answers by backend" : "");
+  }
+  m_rounds_ = registry_.counter("qmqo_service_rounds_total",
+                                "Scheduling rounds run");
+  m_modeled_clock_ = registry_.gauge("qmqo_service_modeled_clock_ms",
+                                     "Modeled service clock, milliseconds");
+  m_queue_wait_hist_ = registry_.histogram(
+      "qmqo_service_queue_wait_modeled_ms", obs::DefaultLatencyBucketsMs(),
+      "Modeled milliseconds settled requests spent queued");
+  m_solve_hist_ = registry_.histogram(
+      "qmqo_service_solve_modeled_ms", obs::DefaultLatencyBucketsMs(),
+      "Modeled milliseconds charged by scheduled solves");
+
+  // Subsystems that keep their own counters for layering reasons are
+  // mirrored at snapshot time. Gauges, not counters: a collector sets the
+  // current absolute value. Collect() runs on the serial scheduling
+  // thread, which is what breaker access requires.
+  registry_.AddCollector([this](obs::MetricsRegistry* r) {
+    for (int b = 0; b < 4; ++b) {
+      const CircuitBreaker& breaker = breakers_[b];
+      const char* name = harness::SolveBackendName(
+          static_cast<harness::SolveBackend>(b));
+      r->gauge(StrFormat("qmqo_breaker_state{backend=\"%s\"}", name),
+               b == 0 ? "Breaker state: 0 closed, 1 open, 2 half-open" : "")
+          ->Set(static_cast<double>(static_cast<int>(breaker.state())));
+      r->gauge(
+           StrFormat("qmqo_breaker_window_failure_rate{backend=\"%s\"}", name))
+          ->Set(breaker.WindowFailureRate());
+      r->gauge(StrFormat("qmqo_breaker_admitted{backend=\"%s\"}", name))
+          ->Set(static_cast<double>(breaker.admitted()));
+      r->gauge(StrFormat("qmqo_breaker_rejected{backend=\"%s\"}", name))
+          ->Set(static_cast<double>(breaker.rejected()));
+      r->gauge(StrFormat("qmqo_breaker_times_opened{backend=\"%s\"}", name))
+          ->Set(static_cast<double>(breaker.times_opened()));
+    }
+  });
+  if (options_.faults != nullptr) {
+    const util::FaultInjector* faults = options_.faults;
+    registry_.AddCollector([faults](obs::MetricsRegistry* r) {
+      r->gauge("qmqo_faults_fired_total",
+               "Total fault-injector firings across all sites")
+          ->Set(static_cast<double>(faults->faults_injected()));
+      for (const auto& [site, count] : faults->Counts()) {
+        r->gauge(StrFormat("qmqo_faults_fired{site=\"%s\"}", site.c_str()))
+            ->Set(static_cast<double>(count));
+      }
+    });
+  }
+  if (options_.pipeline.embedding_cache != nullptr) {
+    embedding::EmbeddingCache* cache = options_.pipeline.embedding_cache;
+    registry_.AddCollector([cache](obs::MetricsRegistry* r) {
+      const embedding::EmbeddingCacheStats stats = cache->stats();
+      r->gauge("qmqo_embedding_cache_hits", "Embedding cache lookups by kind")
+          ->Set(static_cast<double>(stats.hits));
+      r->gauge("qmqo_embedding_cache_misses")
+          ->Set(static_cast<double>(stats.misses));
+      r->gauge("qmqo_embedding_cache_evictions")
+          ->Set(static_cast<double>(stats.evictions));
+      r->gauge("qmqo_embedding_cache_bypasses")
+          ->Set(static_cast<double>(stats.bypasses));
+    });
+  }
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats s;
+  s.submitted = m_submitted_->Value();
+  s.accepted = m_accepted_->Value();
+  s.rejected_invalid = m_rejected_invalid_->Value();
+  s.rejected_queue_full = m_rejected_queue_full_->Value();
+  s.rejected_shutdown = m_rejected_shutdown_->Value();
+  s.completed_ok = m_completed_ok_->Value();
+  s.completed_failed = m_completed_failed_->Value();
+  s.expired_in_queue = m_expired_in_queue_->Value();
+  s.drained_failfast = m_drained_failfast_->Value();
+  s.shed_degraded = m_shed_degraded_->Value();
+  s.breaker_skips = m_breaker_skips_->Value();
+  s.faults_observed = m_faults_observed_->Value();
+  for (int b = 0; b < 4; ++b) s.answered_by[b] = m_answered_by_[b]->Value();
+  s.rounds = m_rounds_->Value();
+  s.modeled_ms = m_modeled_clock_->Value();
+  return s;
 }
 
 Result<uint64_t> SolveService::Enqueue(QueuedRequest request) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.submitted;
+  m_submitted_->Increment();
   if (!accepting_) {
-    ++stats_.rejected_shutdown;
+    m_rejected_shutdown_->Increment();
     return Status::Unavailable("service is shut down");
   }
   request.id = next_id_;
   request.submit_ms = clock_ms_;
   Status pushed = queue_.Push(std::move(request));
   if (!pushed.ok()) {
-    ++stats_.rejected_queue_full;
+    m_rejected_queue_full_->Increment();
     return pushed;
   }
   uint64_t id = next_id_++;
-  ++stats_.accepted;
+  m_accepted_->Increment();
   return id;
 }
 
@@ -75,8 +202,8 @@ Result<uint64_t> SolveService::Submit(mqo::MqoProblem problem,
   Status valid = problem.Validate();
   if (!valid.ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.submitted;
-    ++stats_.rejected_invalid;
+    m_submitted_->Increment();
+    m_rejected_invalid_->Increment();
     return valid;
   }
   QueuedRequest request;
@@ -95,8 +222,8 @@ Result<uint64_t> SolveService::SubmitText(const std::string& text,
   Result<mqo::MqoProblem> parsed = mqo::FromText(text);
   if (!parsed.ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.submitted;
-    ++stats_.rejected_invalid;
+    m_submitted_->Increment();
+    m_rejected_invalid_->Increment();
     return parsed.status();
   }
   mqo::MqoProblem problem = std::move(parsed).value();
@@ -131,13 +258,15 @@ Result<uint64_t> SolveService::SubmitText(const std::string& text,
 
 int SolveService::ProcessRound() {
   const util::FaultInjector* faults = options_.faults;
+  obs::Tracer* tracer = options_.tracer;
   std::vector<RoundSlot> slots;
   int settled = 0;
+  uint64_t round = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return 0;
-    ++stats_.rounds;
-    const uint64_t round = static_cast<uint64_t>(round_index_++);
+    m_rounds_->Increment();
+    round = static_cast<uint64_t>(round_index_++);
 
     // An injected queue stall ages everything still queued before this
     // round claims work — the mechanism deadline-expiry tests use.
@@ -163,8 +292,20 @@ int SolveService::ProcessRound() {
             StrFormat("deadline (%.1f ms) expired after %.1f ms in queue",
                       request.deadline_ms, queue_wait));
         outcome.queue_wait_modeled_ms = queue_wait;
+        m_queue_wait_hist_->Observe(queue_wait);
+        if (tracer != nullptr) {
+          obs::SolveTrace trace;
+          trace.Open("service.request");
+          trace.Tag("id", static_cast<int64_t>(request.id));
+          trace.Tag("round", static_cast<int64_t>(round));
+          trace.Tag("verdict", "expired_in_queue");
+          trace.Tag("queue_wait_ms", StrFormat("%.3f", queue_wait));
+          trace.AddModeled(queue_wait);
+          trace.Close(0.0);
+          tracer->Commit(std::move(trace));
+        }
         outcomes_.push_back(std::move(outcome));
-        ++stats_.expired_in_queue;
+        m_expired_in_queue_->Increment();
         ++settled;
         continue;
       }
@@ -180,7 +321,7 @@ int SolveService::ProcessRound() {
         shed = true;
       }
       if (!request.has_embedding) entry_rung = std::max(entry_rung, 1);
-      if (shed) ++stats_.shed_degraded;
+      if (shed) m_shed_degraded_->Increment();
       slot.shed = shed;
 
       // Per-request policy: forked seed, remaining deadline, breaker gate
@@ -224,6 +365,14 @@ int SolveService::ProcessRound() {
         slot.crash_latency_ms = faults->LatencyMillis("service.worker_crash");
       }
 
+      if (tracer != nullptr) {
+        // Root span opened on the serial path with admission-time tags;
+        // the slot's worker nests solver spans under it.
+        slot.root_span = slot.trace.Open("service.request");
+        slot.trace.Tag("id", static_cast<int64_t>(request.id));
+        slot.trace.Tag("round", static_cast<int64_t>(round));
+      }
+
       slot.request = std::move(request);
       slots.push_back(std::move(slot));
     }
@@ -241,6 +390,7 @@ int SolveService::ProcessRound() {
         for (int i = begin; i < end; ++i) {
           RoundSlot& slot = slots[static_cast<size_t>(i)];
           if (slot.crashed) continue;
+          if (slot.root_span >= 0) slot.pipeline.trace = &slot.trace;
           slot.report = harness::ResilientSolver(slot.policy)
                             .Solve(slot.request.problem, slot.request.embedding,
                                    *graph, slot.pipeline);
@@ -248,7 +398,7 @@ int SolveService::ProcessRound() {
       });
 
   // Serial commit, in slot order: advance the modeled clock by the round's
-  // longest solve, then feed breakers and counters.
+  // longest solve, then feed breakers, counters, and the tracer.
   std::lock_guard<std::mutex> lock(mutex_);
   double round_ms = 0.0;
   for (const RoundSlot& slot : slots) {
@@ -256,7 +406,7 @@ int SolveService::ProcessRound() {
                                                : slot.report.total_modeled_ms);
   }
   clock_ms_ += round_ms;
-  stats_.modeled_ms = clock_ms_;
+  m_modeled_clock_->Set(clock_ms_);
 
   for (RoundSlot& slot : slots) {
     SolveOutcome outcome;
@@ -272,8 +422,8 @@ int SolveService::ProcessRound() {
           static_cast<unsigned long long>(slot.request.id)));
       outcome.solve_modeled_ms = slot.crash_latency_ms;
       outcome.faults_observed = 1;
-      ++stats_.completed_failed;
-      stats_.faults_observed += 1;
+      m_completed_failed_->Increment();
+      m_faults_observed_->Increment();
     } else {
       const harness::SolveReport& report = slot.report;
       // Breaker feedback: only attempts that actually ran (attempt >= 1)
@@ -288,7 +438,7 @@ int SolveService::ProcessRound() {
               attempt.status.ok(), attempt.modeled_ms, clock_ms_);
         }
       }
-      stats_.breaker_skips += outcome.breaker_skips;
+      m_breaker_skips_->Increment(outcome.breaker_skips);
       outcome.status = report.final_status;
       outcome.backend = report.backend;
       outcome.cost = report.cost;
@@ -297,14 +447,40 @@ int SolveService::ProcessRound() {
       outcome.attempts = report.total_attempts;
       outcome.faults_observed = report.faults_observed;
       outcome.detail = report.FailureChain();
-      stats_.faults_observed += report.faults_observed;
+      m_faults_observed_->Increment(report.faults_observed);
       if (report.ok) {
-        ++stats_.completed_ok;
-        ++stats_.answered_by[static_cast<size_t>(report.backend)];
+        m_completed_ok_->Increment();
+        m_answered_by_[static_cast<size_t>(report.backend)]->Increment();
       } else {
-        ++stats_.completed_failed;
+        m_completed_failed_->Increment();
       }
     }
+    m_queue_wait_hist_->Observe(outcome.queue_wait_modeled_ms);
+    m_solve_hist_->Observe(outcome.solve_modeled_ms);
+
+    if (slot.root_span >= 0 && tracer != nullptr) {
+      obs::SolveTrace& trace = slot.trace;
+      if (slot.crashed) {
+        trace.Tag("verdict", "worker_crash");
+      } else if (slot.report.ok) {
+        trace.Tag("verdict", "completed");
+        trace.Tag("backend", harness::SolveBackendName(slot.report.backend));
+      } else {
+        trace.Tag("verdict", "failed");
+      }
+      trace.Tag("entry_rung", static_cast<int64_t>(outcome.entry_rung));
+      if (slot.shed) trace.Tag("shed", static_cast<int64_t>(1));
+      if (outcome.breaker_skips > 0) {
+        trace.Tag("breaker_skips", static_cast<int64_t>(outcome.breaker_skips));
+      }
+      trace.Tag("queue_wait_ms",
+                StrFormat("%.3f", outcome.queue_wait_modeled_ms));
+      trace.AddModeled(outcome.queue_wait_modeled_ms +
+                       outcome.solve_modeled_ms);
+      trace.Close(slot.crashed ? 0.0 : slot.report.total_wall_ms);
+      tracer->Commit(std::move(trace));
+    }
+
     outcomes_.push_back(std::move(outcome));
     ++settled;
   }
@@ -340,8 +516,20 @@ int SolveService::Shutdown(bool graceful) {
       outcome.status =
           Status::Unavailable("request failed fast by service shutdown");
       outcome.queue_wait_modeled_ms = clock_ms_ - request.submit_ms;
+      m_queue_wait_hist_->Observe(outcome.queue_wait_modeled_ms);
+      if (options_.tracer != nullptr) {
+        obs::SolveTrace trace;
+        trace.Open("service.request");
+        trace.Tag("id", static_cast<int64_t>(request.id));
+        trace.Tag("verdict", "drained_failfast");
+        trace.Tag("queue_wait_ms",
+                  StrFormat("%.3f", outcome.queue_wait_modeled_ms));
+        trace.AddModeled(outcome.queue_wait_modeled_ms);
+        trace.Close(0.0);
+        options_.tracer->Commit(std::move(trace));
+      }
       outcomes_.push_back(std::move(outcome));
-      ++stats_.drained_failfast;
+      m_drained_failfast_->Increment();
       ++settled;
     }
   }

@@ -63,6 +63,8 @@
 #include "harness/resilient_solver.h"
 #include "mqo/problem.h"
 #include "mqo/solution.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/circuit_breaker.h"
 #include "service/request_queue.h"
 #include "service/service_stats.h"
@@ -112,6 +114,14 @@ struct ServiceOptions {
   /// Modeled deadline applied to requests submitted without one;
   /// <= 0 = no default deadline.
   double default_deadline_ms = 0.0;
+  /// Optional trace collector (never owned; null = no tracing). One
+  /// `service.request` root span is committed per settled request, in
+  /// settle order, from the serial scheduling path — solver and pipeline
+  /// spans nest under it. Tags record the verdict (completed / failed /
+  /// expired_in_queue / worker_crash / drained_failfast), round, entry
+  /// rung, shedding, and modeled queue wait. Trace dumps with wall clocks
+  /// suppressed are bit-identical at any worker-thread count.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// What the service settled for one accepted request.
@@ -185,7 +195,19 @@ class SolveService {
   /// Outcomes in settle order (round by round, index order within rounds).
   const std::vector<SolveOutcome>& outcomes() const { return outcomes_; }
 
-  const ServiceStats& stats() const { return stats_; }
+  /// Snapshot of the service counters, synthesized from the metrics
+  /// registry (the counters live there; this struct is the stable
+  /// accessor API). Returned by value — bind to `const ServiceStats&` or
+  /// copy.
+  ServiceStats stats() const;
+
+  /// The unified metrics registry: every ServiceStats counter plus
+  /// queue-wait/solve latency histograms, breaker state, fault-site
+  /// counts, and embedding-cache stats (the last three mirrored by
+  /// collectors at snapshot time). Call `Collect()` / `PrometheusText()` /
+  /// `JsonText()` from the serial scheduling thread — breaker state is
+  /// externally synchronized.
+  obs::MetricsRegistry& metrics() { return registry_; }
 
   /// The modeled service clock, milliseconds since construction.
   double modeled_now_ms() const { return clock_ms_; }
@@ -198,12 +220,35 @@ class SolveService {
 
  private:
   Result<uint64_t> Enqueue(QueuedRequest request);
+  /// Creates every registry-backed counter/gauge/histogram handle and
+  /// registers the breaker/fault/cache collectors. Constructor-only.
+  void RegisterMetrics();
 
   ServiceOptions options_;
   BoundedRequestQueue queue_;
   /// One breaker per harness::SolveBackend value, indexed by the enum.
   CircuitBreaker breakers_[4];
-  ServiceStats stats_;
+  /// The single snapshot surface for every service counter. Handles below
+  /// are stable pointers into it, created once at construction; all
+  /// updates happen on the serial admission/commit paths.
+  obs::MetricsRegistry registry_;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_accepted_ = nullptr;
+  obs::Counter* m_rejected_invalid_ = nullptr;
+  obs::Counter* m_rejected_queue_full_ = nullptr;
+  obs::Counter* m_rejected_shutdown_ = nullptr;
+  obs::Counter* m_completed_ok_ = nullptr;
+  obs::Counter* m_completed_failed_ = nullptr;
+  obs::Counter* m_expired_in_queue_ = nullptr;
+  obs::Counter* m_drained_failfast_ = nullptr;
+  obs::Counter* m_shed_degraded_ = nullptr;
+  obs::Counter* m_breaker_skips_ = nullptr;
+  obs::Counter* m_faults_observed_ = nullptr;
+  obs::Counter* m_answered_by_[4] = {nullptr, nullptr, nullptr, nullptr};
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Gauge* m_modeled_clock_ = nullptr;
+  obs::Histogram* m_queue_wait_hist_ = nullptr;
+  obs::Histogram* m_solve_hist_ = nullptr;
   std::vector<SolveOutcome> outcomes_;
   double clock_ms_ = 0.0;
   uint64_t next_id_ = 1;

@@ -1,0 +1,288 @@
+// Unit tests of the observability layer itself: sharded counters, gauge
+// bit round-trips, histogram bucket boundaries (inclusive `le`), the
+// Prometheus text exposition (golden), JSON exposition, collectors, and
+// span-tree construction/serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qmqo {
+namespace obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(CounterTest, IncrementByDelta) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment(0);
+  counter.Increment(37);
+  EXPECT_EQ(counter.Value(), 42);
+}
+
+TEST(GaugeTest, RoundTripsExactBits) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  for (double v : {36.5, -0.0, 1e-300, 0.1, 12345.6789}) {
+    gauge.Set(v);
+    double got = gauge.Value();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof(v)), 0) << v;
+  }
+}
+
+TEST(HistogramTest, UpperBoundsAreInclusive) {
+  Histogram h({1.0, 2.5, 5.0});
+  h.Observe(1.0);        // exactly on a bound -> that bucket (le semantics)
+  h.Observe(1.0000001);  // just over -> next bucket
+  h.Observe(2.5);
+  h.Observe(5.0);
+  h.Observe(5.0001);  // over the last bound -> +Inf bucket
+  h.Observe(-3.0);    // below everything -> first bucket
+  EXPECT_EQ(h.BucketCount(0), 2);  // 1.0, -3.0
+  EXPECT_EQ(h.BucketCount(1), 2);  // 1.0000001, 2.5
+  EXPECT_EQ(h.BucketCount(2), 1);  // 5.0
+  EXPECT_EQ(h.BucketCount(3), 1);  // 5.0001
+  EXPECT_EQ(h.Count(), 6);
+}
+
+TEST(HistogramTest, SumIsFixedPointThousandths) {
+  Histogram h({10.0});
+  h.Observe(1.2344);  // rounds to 1.234
+  h.Observe(0.0006);  // rounds to 0.001
+  h.Observe(0.0004);  // rounds to 0.000
+  EXPECT_DOUBLE_EQ(h.Sum(), 1.235);
+  EXPECT_EQ(h.Count(), 3);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
+  Histogram h({5.0, 1.0, 5.0, 2.5});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bounds()[0], 1.0);
+  EXPECT_EQ(h.bounds()[1], 2.5);
+  EXPECT_EQ(h.bounds()[2], 5.0);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x_total");
+  Counter* b = reg.counter("x_total");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = reg.histogram("h_ms", {1.0, 2.0});
+  Histogram* h2 = reg.histogram("h_ms", {99.0});  // never re-bucketed
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.counter("x"), nullptr);
+  EXPECT_EQ(reg.gauge("x"), nullptr);
+  EXPECT_EQ(reg.histogram("x", {1.0}), nullptr);
+  ASSERT_NE(reg.gauge("g"), nullptr);
+  EXPECT_EQ(reg.counter("g"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zebra");
+  reg.counter("alpha");
+  reg.counter("mid");
+  MetricsSnapshot snap = reg.Collect();
+  ASSERT_EQ(snap.points.size(), 3u);
+  EXPECT_EQ(snap.points[0].name, "alpha");
+  EXPECT_EQ(snap.points[1].name, "mid");
+  EXPECT_EQ(snap.points[2].name, "zebra");
+}
+
+TEST(RegistryTest, CollectorsRunAtCollectTime) {
+  MetricsRegistry reg;
+  int runs = 0;
+  reg.AddCollector([&runs](MetricsRegistry* r) {
+    ++runs;
+    r->gauge("mirrored")->Set(static_cast<double>(runs));
+  });
+  MetricsSnapshot first = reg.Collect();
+  MetricsSnapshot second = reg.Collect();
+  EXPECT_EQ(runs, 2);
+  ASSERT_EQ(second.points.size(), 1u);
+  EXPECT_EQ(second.points[0].gauge_value, 2.0);
+  (void)first;
+}
+
+// The exposition format is an interface: goldens pin the exact bytes.
+TEST(ExpositionTest, PrometheusTextGolden) {
+  MetricsRegistry reg;
+  reg.counter("app_requests_total", "Total requests")->Increment(3);
+  reg.counter("app_errors_total{kind=\"parse\"}", "Errors by kind")
+      ->Increment();
+  reg.counter("app_errors_total{kind=\"io\"}")->Increment(2);
+  reg.gauge("app_temperature", "Current temp")->Set(36.5);
+  Histogram* h = reg.histogram("app_latency_ms", {1.0, 5.0}, "Latency");
+  h->Observe(0.5);
+  h->Observe(1.0);
+  h->Observe(3.0);
+  h->Observe(100.0);
+
+  const char* expected =
+      "# HELP app_errors_total Errors by kind\n"
+      "# TYPE app_errors_total counter\n"
+      "app_errors_total{kind=\"io\"} 2\n"
+      "app_errors_total{kind=\"parse\"} 1\n"
+      "# HELP app_latency_ms Latency\n"
+      "# TYPE app_latency_ms histogram\n"
+      "app_latency_ms_bucket{le=\"1\"} 2\n"
+      "app_latency_ms_bucket{le=\"5\"} 3\n"
+      "app_latency_ms_bucket{le=\"+Inf\"} 4\n"
+      "app_latency_ms_sum 104.5\n"
+      "app_latency_ms_count 4\n"
+      "# HELP app_requests_total Total requests\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total 3\n"
+      "# HELP app_temperature Current temp\n"
+      "# TYPE app_temperature gauge\n"
+      "app_temperature 36.5\n";
+  EXPECT_EQ(reg.PrometheusText(), expected);
+}
+
+TEST(ExpositionTest, LabeledHistogramMergesLeIntoExistingLabels) {
+  MetricsRegistry reg;
+  Histogram* h =
+      reg.histogram("lat_ms{backend=\"device\"}", {1.0}, "Latency by backend");
+  h->Observe(0.5);
+  std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("lat_ms_bucket{backend=\"device\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ms_sum{backend=\"device\"} 0.5"), std::string::npos)
+      << text;
+}
+
+TEST(ExpositionTest, JsonTextGolden) {
+  MetricsRegistry reg;
+  reg.counter("c_total")->Increment(7);
+  reg.gauge("g_value")->Set(2.5);
+  Histogram* h = reg.histogram("h_ms", {1.0});
+  h->Observe(0.25);
+  h->Observe(4.0);
+  const char* expected =
+      "{\"c_total\": 7, \"g_value\": 2.5, "
+      "\"h_ms\": {\"buckets\": [{\"le\": \"1\", \"count\": 1}, "
+      "{\"le\": \"inf\", \"count\": 2}], \"sum\": 4.25, \"count\": 2}}";
+  EXPECT_EQ(reg.JsonText(), expected);
+}
+
+TEST(TraceTest, SpanTreeStructure) {
+  SolveTrace trace;
+  int root = trace.Open("root");
+  trace.Tag("id", static_cast<int64_t>(7));
+  int child = trace.Open("child");
+  trace.AddModeled(2.5);
+  int grandchild = trace.Open("grandchild");
+  trace.Close(0.5);  // grandchild
+  trace.Close(1.0);  // child
+  trace.AddModeled(5.0);
+  trace.Close(10.0);  // root
+  EXPECT_FALSE(trace.has_open_span());
+
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(root)].parent, -1);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(root)].depth, 0);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(child)].parent, root);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(child)].depth, 1);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(grandchild)].parent, child);
+  EXPECT_EQ(trace.spans()[static_cast<size_t>(grandchild)].depth, 2);
+  EXPECT_DOUBLE_EQ(trace.spans()[static_cast<size_t>(root)].modeled_ms, 5.0);
+  EXPECT_DOUBLE_EQ(trace.spans()[static_cast<size_t>(child)].modeled_ms, 2.5);
+  EXPECT_DOUBLE_EQ(trace.spans()[static_cast<size_t>(root)].wall_ms, 10.0);
+}
+
+TEST(TraceTest, JsonLineOmitsWallWhenAsked) {
+  SolveTrace trace;
+  trace.Open("root");
+  trace.Tag("verdict", "completed");
+  trace.AddModeled(5.0);
+  trace.Close(123.456);
+  EXPECT_EQ(trace.JsonLine(/*include_wall=*/false),
+            "{\"spans\": [{\"name\": \"root\", \"parent\": -1, "
+            "\"modeled_ms\": 5, \"tags\": {\"verdict\": \"completed\"}}]}");
+  std::string with_wall = trace.JsonLine(/*include_wall=*/true);
+  EXPECT_NE(with_wall.find("\"wall_ms\": 123.456"), std::string::npos)
+      << with_wall;
+}
+
+TEST(TraceTest, ModeledTotalsSumByName) {
+  SolveTrace trace;
+  trace.Open("a");
+  trace.AddModeled(1.0);
+  trace.Open("b");
+  trace.AddModeled(2.0);
+  trace.Close(0.0);
+  trace.Close(0.0);
+  trace.Open("b");
+  trace.AddModeled(3.0);
+  trace.Close(0.0);
+  EXPECT_DOUBLE_EQ(trace.ModeledTotal("a"), 1.0);
+  EXPECT_DOUBLE_EQ(trace.ModeledTotal("b"), 5.0);
+  EXPECT_DOUBLE_EQ(trace.ModeledTotal("missing"), 0.0);
+}
+
+TEST(TraceTest, SpanScopeIsNullSafe) {
+  SpanScope scope(nullptr, "never-recorded");
+  scope.AddModeled(1.0);
+  scope.Tag("k", "v");  // all no-ops; must not crash
+}
+
+TEST(TraceTest, SpanScopeRecordsOnDestruction) {
+  SolveTrace trace;
+  {
+    SpanScope scope(&trace, "scoped");
+    scope.AddModeled(2.0);
+    scope.Tag("k", static_cast<int64_t>(1));
+  }
+  EXPECT_FALSE(trace.has_open_span());
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "scoped");
+  EXPECT_DOUBLE_EQ(trace.spans()[0].modeled_ms, 2.0);
+  EXPECT_GE(trace.spans()[0].wall_ms, 0.0);
+}
+
+TEST(TracerTest, DumpsOneJsonLinePerTrace) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    SolveTrace trace;
+    trace.Open("request");
+    trace.Tag("id", static_cast<int64_t>(i));
+    trace.AddModeled(static_cast<double>(i));
+    trace.Close(0.0);
+    tracer.Commit(std::move(trace));
+  }
+  ASSERT_EQ(tracer.size(), 3u);
+  std::string dump = tracer.DumpJsonLines(/*include_wall=*/false);
+  int lines = 0;
+  for (char c : dump) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3);
+  EXPECT_DOUBLE_EQ(tracer.ModeledTotal("request"), 3.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qmqo
