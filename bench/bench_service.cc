@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <fstream>
@@ -68,13 +69,14 @@ double Percentile(std::vector<double> values, double p) {
 
 /// One sustained-load run: submit every instance (overfilling the queue),
 /// then drain to empty. Returns outcomes in settle order. When `tracer` /
-/// `prom_out` are set (the serial run), the run is traced and its final
-/// Prometheus exposition captured.
+/// `prom_out` / `json_out` are set (the serial run), the run is traced
+/// and its final metric snapshot captured in both exposition formats.
 LoadResult RunLoad(const chimera::ChimeraGraph& graph,
                    const std::vector<harness::PaperInstance>& instances,
                    int num_requests, int num_threads,
                    obs::Tracer* tracer = nullptr,
-                   std::string* prom_out = nullptr) {
+                   std::string* prom_out = nullptr,
+                   std::string* json_out = nullptr) {
   service::ServiceOptions options;
   options.graph = &graph;
   options.num_threads = num_threads;
@@ -120,7 +122,11 @@ LoadResult RunLoad(const chimera::ChimeraGraph& graph,
     result.modeled_latency_ms.push_back(outcome.queue_wait_modeled_ms +
                                         outcome.solve_modeled_ms);
   }
-  if (prom_out != nullptr) *prom_out = solve_service.metrics().PrometheusText();
+  if (prom_out != nullptr || json_out != nullptr) {
+    obs::MetricsSnapshot snapshot = solve_service.metrics().Collect();
+    if (prom_out != nullptr) *prom_out = snapshot.PrometheusText();
+    if (json_out != nullptr) *json_out = snapshot.JsonText();
+  }
   return result;
 }
 
@@ -154,15 +160,16 @@ int main() {
   LoadResult serial;
   obs::Tracer serial_tracer;
   std::string serial_prom;
+  std::string serial_metrics_json;
   bool all_identical = true;
   bench::JsonArray runs;
   for (int threads : {1, 2, 4}) {
     // Trace + snapshot the serial run only; it is the deterministic
-    // reference the stage breakdown and the .prom artifact describe.
+    // reference the stage breakdown and the exposition artifacts describe.
     LoadResult result =
         threads == 1
             ? RunLoad(graph, instances, num_requests, threads, &serial_tracer,
-                      &serial_prom)
+                      &serial_prom, &serial_metrics_json)
             : RunLoad(graph, instances, num_requests, threads);
     bool identical = true;
     if (threads == 1) {
@@ -242,25 +249,31 @@ int main() {
   }
   std::printf("wrote %s\n", path.c_str());
 
-  // The serial run's full metric snapshot as Prometheus text exposition,
-  // next to the JSON artifact (CI checks it parses: bench/check_prom.py).
-  {
+  // The serial run's full metric snapshot in both exposition formats,
+  // next to the bench artifact. CI checks both stay machine-readable:
+  // bench/check_prom.py for the text exposition, a json.load for the
+  // JSON one (labeled metric names carry quotes that must be escaped).
+  const std::pair<const char*, const std::string*> expositions[] = {
+      {"BENCH_service.prom", &serial_prom},
+      {"BENCH_service_metrics.json", &serial_metrics_json},
+  };
+  for (const auto& [filename, content] : expositions) {
     const char* dir = std::getenv("QMQO_BENCH_OUT_DIR");
-    std::string prom_path =
+    std::string out_path =
         (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "") +
-        "BENCH_service.prom";
-    std::ofstream prom(prom_path);
-    if (!prom) {
-      std::fprintf(stderr, "failed to write %s\n", prom_path.c_str());
+        filename;
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
       return 1;
     }
-    prom << serial_prom;
-    prom.flush();
-    if (!prom) {
-      std::fprintf(stderr, "failed to write %s\n", prom_path.c_str());
+    out << *content;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
       return 1;
     }
-    std::printf("wrote %s\n", prom_path.c_str());
+    std::printf("wrote %s\n", out_path.c_str());
   }
 
   if (!all_identical) {

@@ -256,7 +256,7 @@ SolveReport ResilientSolver::Solve(const mqo::MqoProblem& problem,
     trace->Tag("status",
                rec.status.ok() ? "ok" : StatusCodeToString(rec.status.code()));
     if (rec.backoff_ms > 0.0) {
-      trace->Tag("backoff_ms", StrFormat("%.3f", rec.backoff_ms));
+      trace->Tag("backoff_ms", obs::FormatMs(rec.backoff_ms));
     }
     if (rec.faults_observed > 0) trace->Tag("faults", rec.faults_observed);
     trace->AddModeled(rec.modeled_ms);

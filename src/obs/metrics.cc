@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <thread>
@@ -26,9 +27,11 @@ int ThisThreadShard() {
 namespace {
 
 /// Deterministic, locale-independent number rendering: a pure function of
-/// the value's bits. Integral values print as integers ("25"), others as
-/// the shortest %g form that round-trips ("0.1", "36.5"), falling back to
-/// %.17g (which round-trips every double) when %g loses precision.
+/// the value's bits. Integral values print as integers ("25"), others via
+/// std::to_chars shortest-round-trip ("0.1", "36.5"). to_chars is defined
+/// to ignore the C locale — printf's %g and strtod honor LC_NUMERIC, and
+/// an embedding app that calls setlocale() must not be able to turn the
+/// exposition into "36,5".
 std::string FormatDouble(double value) {
   if (std::isnan(value)) return "NaN";
   if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
@@ -36,9 +39,9 @@ std::string FormatDouble(double value) {
   if (std::modf(value, &integral) == 0.0 && std::fabs(value) < 1e15) {
     return StrFormat("%lld", static_cast<long long>(value));
   }
-  std::string compact = StrFormat("%g", value);
-  if (std::strtod(compact.c_str(), nullptr) == value) return compact;
-  return StrFormat("%.17g", value);
+  char buf[64];
+  std::to_chars_result result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
 }
 
 /// Name up to the label suffix: "x_total{a=\"b\"}" -> "x_total".
@@ -228,51 +231,66 @@ MetricsSnapshot MetricsRegistry::Collect() {
 }
 
 std::string MetricsSnapshot::PrometheusText() const {
-  // HELP text may be attached to any one point of a labeled family
-  // (registration order is the caller's business); the family's first
-  // non-empty help wins.
-  std::map<std::string, std::string> help_by_base;
+  // Group points by base name before rendering: name-sort interleaves a
+  // family's unlabeled and labeled series around metrics that sort
+  // between them ('{' > '_', so base_x lands between `base` and
+  // `base{...}`), and emitting headers by adjacency would then declare
+  // duplicate # TYPE lines — which Prometheus parsers reject. Families
+  // render in first-appearance (i.e. name-sorted) order, each exactly
+  // once.
+  std::vector<std::pair<std::string, std::vector<const MetricPoint*>>>
+      families;
+  std::map<std::string, size_t> family_index;
   for (const MetricPoint& point : points) {
-    if (point.help.empty()) continue;
-    help_by_base.emplace(BaseName(point.name), point.help);
+    std::string base = BaseName(point.name);
+    auto [it, inserted] = family_index.emplace(base, families.size());
+    if (inserted) families.emplace_back(std::move(base),
+                                        std::vector<const MetricPoint*>());
+    families[it->second].second.push_back(&point);
   }
   std::string out;
-  std::string previous_base;
-  for (const MetricPoint& point : points) {
-    const std::string base = BaseName(point.name);
-    if (base != previous_base) {
-      previous_base = base;
-      auto help = help_by_base.find(base);
-      if (help != help_by_base.end()) {
-        out += "# HELP " + base + " " + help->second + "\n";
-      }
-      out += "# TYPE " + base + " " + KindName(point.kind) + "\n";
+  for (const auto& [base, family] : families) {
+    // HELP text may be attached to any one point of a labeled family
+    // (registration order is the caller's business); the family's first
+    // non-empty help wins.
+    for (const MetricPoint* member : family) {
+      if (member->help.empty()) continue;
+      out += "# HELP " + base + " " + member->help + "\n";
+      break;
     }
-    switch (point.kind) {
-      case MetricPoint::Kind::kCounter:
-        out += point.name + " " +
-               StrFormat("%lld", static_cast<long long>(point.counter_value)) +
-               "\n";
-        break;
-      case MetricPoint::Kind::kGauge:
-        out += point.name + " " + FormatDouble(point.gauge_value) + "\n";
-        break;
-      case MetricPoint::Kind::kHistogram: {
-        int64_t cumulative = 0;
-        for (size_t b = 0; b < point.bucket_counts.size(); ++b) {
-          cumulative += point.bucket_counts[b];
-          const std::string le =
-              b < point.bounds.size() ? FormatDouble(point.bounds[b]) : "+Inf";
-          out += WithLabel(WithSuffix(point.name, "_bucket"),
-                           "le=\"" + le + "\"") +
-                 " " + StrFormat("%lld", static_cast<long long>(cumulative)) +
+    out += "# TYPE " + base + " " + KindName(family.front()->kind) + "\n";
+    for (const MetricPoint* member : family) {
+      const MetricPoint& point = *member;
+      switch (point.kind) {
+        case MetricPoint::Kind::kCounter:
+          out += point.name + " " +
+                 StrFormat("%lld",
+                           static_cast<long long>(point.counter_value)) +
                  "\n";
+          break;
+        case MetricPoint::Kind::kGauge:
+          out += point.name + " " + FormatDouble(point.gauge_value) + "\n";
+          break;
+        case MetricPoint::Kind::kHistogram: {
+          int64_t cumulative = 0;
+          for (size_t b = 0; b < point.bucket_counts.size(); ++b) {
+            cumulative += point.bucket_counts[b];
+            const std::string le = b < point.bounds.size()
+                                       ? FormatDouble(point.bounds[b])
+                                       : "+Inf";
+            out += WithLabel(WithSuffix(point.name, "_bucket"),
+                             "le=\"" + le + "\"") +
+                   " " +
+                   StrFormat("%lld", static_cast<long long>(cumulative)) +
+                   "\n";
+          }
+          out += WithSuffix(point.name, "_sum") + " " +
+                 FormatDouble(point.sum) + "\n";
+          out += WithSuffix(point.name, "_count") + " " +
+                 StrFormat("%lld", static_cast<long long>(point.count)) +
+                 "\n";
+          break;
         }
-        out += WithSuffix(point.name, "_sum") + " " + FormatDouble(point.sum) +
-               "\n";
-        out += WithSuffix(point.name, "_count") + " " +
-               StrFormat("%lld", static_cast<long long>(point.count)) + "\n";
-        break;
       }
     }
   }
@@ -282,10 +300,13 @@ std::string MetricsSnapshot::PrometheusText() const {
 std::string MetricsSnapshot::JsonText() const {
   std::string out = "{";
   bool first = true;
+  // Keys are full metric names, label block included — those carry
+  // literal double quotes (`x_total{reason="invalid"}`), so they must be
+  // escaped or the whole document is invalid JSON.
   auto add = [&](const std::string& key, const std::string& value) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + key + "\": " + value;
+    out += "\"" + EscapeJson(key) + "\": " + value;
   };
   for (const MetricPoint& point : points) {
     switch (point.kind) {

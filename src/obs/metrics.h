@@ -26,7 +26,8 @@
 ///    Callers set them on serial paths (the service's admission/commit
 ///    path), so the last writer is deterministic.
 ///  * **Snapshots** are sorted by metric name, and all number formatting
-///    is locale-independent printf — equal bits in, equal bytes out.
+///    is locale-independent (integer printf and std::to_chars, never
+///    LC_NUMERIC-sensitive %g/%f) — equal bits in, equal bytes out.
 ///
 /// Metric names follow Prometheus conventions (`qmqo_<area>_<what>_<unit>`)
 /// and may carry a literal label suffix (`name{key="value"}`); the
@@ -73,6 +74,19 @@ class Counter {
   void Increment(int64_t n = 1) {
     shards_[internal::ThisThreadShard()].value.fetch_add(
         n, std::memory_order_relaxed);
+  }
+
+  /// Raises the counter to `absolute` (a no-op when it is already
+  /// there). For collectors that mirror a monotonic source kept outside
+  /// the registry (fault-injector firings, breaker admissions, cache
+  /// hits): the mirror stays a *counter* in the exposition — TYPE gauge
+  /// on an ever-increasing `_total` series breaks rate()/increase() on
+  /// scrapers — while the collector still sets an absolute value. Only
+  /// meaningful on a serial path (Collect() runs collectors serially);
+  /// the source must never decrease.
+  void SetToAbsolute(int64_t absolute) {
+    int64_t delta = absolute - Value();
+    if (delta > 0) Increment(delta);
   }
 
   /// Sum over all shards (exact: integer addition).

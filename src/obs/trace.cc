@@ -8,44 +8,23 @@
 namespace qmqo {
 namespace obs {
 
-namespace {
-
-/// Deterministic millisecond rendering quantized to 1/1000 (matching the
-/// histogram fixed-point resolution): "12.345", "0.5", "25".
+/// Built from integer pieces only — `%f` honors LC_NUMERIC, and an
+/// embedding app that calls setlocale() must not change trace bytes.
 std::string FormatMs(double ms) {
-  const int64_t thousandths = static_cast<int64_t>(std::llround(ms * 1000.0));
+  int64_t thousandths = static_cast<int64_t>(std::llround(ms * 1000.0));
+  const char* sign = thousandths < 0 ? "-" : "";
+  if (thousandths < 0) thousandths = -thousandths;
   if (thousandths % 1000 == 0) {
-    return StrFormat("%lld", static_cast<long long>(thousandths / 1000));
+    return StrFormat("%s%lld", sign,
+                     static_cast<long long>(thousandths / 1000));
   }
-  double quantized = static_cast<double>(thousandths) / 1000.0;
-  std::string out = StrFormat("%.3f", quantized);
-  while (!out.empty() && out.back() == '0') out.pop_back();
-  if (!out.empty() && out.back() == '.') out.pop_back();
+  std::string out =
+      StrFormat("%s%lld.%03lld", sign,
+                static_cast<long long>(thousandths / 1000),
+                static_cast<long long>(thousandths % 1000));
+  while (out.back() == '0') out.pop_back();
   return out;
 }
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 int SolveTrace::Open(const std::string& name) {
   Span span;
@@ -123,7 +102,7 @@ std::string SolveTrace::JsonLine(bool include_wall) const {
     out += ", \"parent\": " + StrFormat("%d", span.parent);
     out += ", \"modeled_ms\": " + FormatMs(span.modeled_ms);
     if (include_wall) {
-      out += ", \"wall_ms\": " + StrFormat("%.3f", span.wall_ms);
+      out += ", \"wall_ms\": " + FormatMs(span.wall_ms);
     }
     if (!span.tags.empty()) {
       out += ", \"tags\": {";
@@ -147,7 +126,7 @@ std::string SolveTrace::Pretty(bool include_wall) const {
     out += span.name;
     out += "  modeled=" + FormatMs(span.modeled_ms) + "ms";
     if (include_wall) {
-      out += " wall=" + StrFormat("%.3f", span.wall_ms) + "ms";
+      out += " wall=" + FormatMs(span.wall_ms) + "ms";
     }
     for (const auto& [key, value] : span.tags) {
       out += " " + key + "=" + value;

@@ -40,6 +40,13 @@
 namespace qmqo {
 namespace obs {
 
+/// Deterministic, locale-independent millisecond rendering quantized to
+/// 1/1000 (the fixed-point resolution of the metrics layer): "12.345",
+/// "0.5", "25". Every trace duration and millisecond tag value must go
+/// through this — printf %f honors LC_NUMERIC, and an embedding app that
+/// calls setlocale() must not be able to corrupt trace JSON.
+std::string FormatMs(double ms);
+
 /// One node of a span tree. Stored flat in SolveTrace::spans with parent
 /// indices; children appear after their parent in depth-first order.
 struct Span {

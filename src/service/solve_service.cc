@@ -106,8 +106,10 @@ void SolveService::RegisterMetrics() {
       "Modeled milliseconds charged by scheduled solves");
 
   // Subsystems that keep their own counters for layering reasons are
-  // mirrored at snapshot time. Gauges, not counters: a collector sets the
-  // current absolute value. Collect() runs on the serial scheduling
+  // mirrored at snapshot time. Monotonic sources mirror as counters via
+  // SetToAbsolute so the exposition's TYPE matches their semantics
+  // (scrapers rate() them); point-in-time values (breaker state, window
+  // failure rate) stay gauges. Collect() runs on the serial scheduling
   // thread, which is what breaker access requires.
   registry_.AddCollector([this](obs::MetricsRegistry* r) {
     for (int b = 0; b < 4; ++b) {
@@ -120,23 +122,27 @@ void SolveService::RegisterMetrics() {
       r->gauge(
            StrFormat("qmqo_breaker_window_failure_rate{backend=\"%s\"}", name))
           ->Set(breaker.WindowFailureRate());
-      r->gauge(StrFormat("qmqo_breaker_admitted{backend=\"%s\"}", name))
-          ->Set(static_cast<double>(breaker.admitted()));
-      r->gauge(StrFormat("qmqo_breaker_rejected{backend=\"%s\"}", name))
-          ->Set(static_cast<double>(breaker.rejected()));
-      r->gauge(StrFormat("qmqo_breaker_times_opened{backend=\"%s\"}", name))
-          ->Set(static_cast<double>(breaker.times_opened()));
+      r->counter(StrFormat("qmqo_breaker_admitted_total{backend=\"%s\"}",
+                           name))
+          ->SetToAbsolute(breaker.admitted());
+      r->counter(StrFormat("qmqo_breaker_rejected_total{backend=\"%s\"}",
+                           name))
+          ->SetToAbsolute(breaker.rejected());
+      r->counter(StrFormat("qmqo_breaker_opened_total{backend=\"%s\"}", name))
+          ->SetToAbsolute(breaker.times_opened());
     }
   });
   if (options_.faults != nullptr) {
     const util::FaultInjector* faults = options_.faults;
     registry_.AddCollector([faults](obs::MetricsRegistry* r) {
-      r->gauge("qmqo_faults_fired_total",
-               "Total fault-injector firings across all sites")
-          ->Set(static_cast<double>(faults->faults_injected()));
+      r->counter("qmqo_faults_fired_total",
+                 "Total fault-injector firings across all sites")
+          ->SetToAbsolute(faults->faults_injected());
       for (const auto& [site, count] : faults->Counts()) {
-        r->gauge(StrFormat("qmqo_faults_fired{site=\"%s\"}", site.c_str()))
-            ->Set(static_cast<double>(count));
+        r->counter(
+             StrFormat("qmqo_faults_fired_site_total{site=\"%s\"}",
+                       site.c_str()))
+            ->SetToAbsolute(count);
       }
     });
   }
@@ -144,14 +150,15 @@ void SolveService::RegisterMetrics() {
     embedding::EmbeddingCache* cache = options_.pipeline.embedding_cache;
     registry_.AddCollector([cache](obs::MetricsRegistry* r) {
       const embedding::EmbeddingCacheStats stats = cache->stats();
-      r->gauge("qmqo_embedding_cache_hits", "Embedding cache lookups by kind")
-          ->Set(static_cast<double>(stats.hits));
-      r->gauge("qmqo_embedding_cache_misses")
-          ->Set(static_cast<double>(stats.misses));
-      r->gauge("qmqo_embedding_cache_evictions")
-          ->Set(static_cast<double>(stats.evictions));
-      r->gauge("qmqo_embedding_cache_bypasses")
-          ->Set(static_cast<double>(stats.bypasses));
+      r->counter("qmqo_embedding_cache_hits_total",
+                 "Embedding cache lookups by kind")
+          ->SetToAbsolute(static_cast<int64_t>(stats.hits));
+      r->counter("qmqo_embedding_cache_misses_total")
+          ->SetToAbsolute(static_cast<int64_t>(stats.misses));
+      r->counter("qmqo_embedding_cache_evictions_total")
+          ->SetToAbsolute(static_cast<int64_t>(stats.evictions));
+      r->counter("qmqo_embedding_cache_bypasses_total")
+          ->SetToAbsolute(static_cast<int64_t>(stats.bypasses));
     });
   }
 }
@@ -299,7 +306,7 @@ int SolveService::ProcessRound() {
           trace.Tag("id", static_cast<int64_t>(request.id));
           trace.Tag("round", static_cast<int64_t>(round));
           trace.Tag("verdict", "expired_in_queue");
-          trace.Tag("queue_wait_ms", StrFormat("%.3f", queue_wait));
+          trace.Tag("queue_wait_ms", obs::FormatMs(queue_wait));
           trace.AddModeled(queue_wait);
           trace.Close(0.0);
           tracer->Commit(std::move(trace));
@@ -474,7 +481,7 @@ int SolveService::ProcessRound() {
         trace.Tag("breaker_skips", static_cast<int64_t>(outcome.breaker_skips));
       }
       trace.Tag("queue_wait_ms",
-                StrFormat("%.3f", outcome.queue_wait_modeled_ms));
+                obs::FormatMs(outcome.queue_wait_modeled_ms));
       trace.AddModeled(outcome.queue_wait_modeled_ms +
                        outcome.solve_modeled_ms);
       trace.Close(slot.crashed ? 0.0 : slot.report.total_wall_ms);
@@ -523,7 +530,7 @@ int SolveService::Shutdown(bool graceful) {
         trace.Tag("id", static_cast<int64_t>(request.id));
         trace.Tag("verdict", "drained_failfast");
         trace.Tag("queue_wait_ms",
-                  StrFormat("%.3f", outcome.queue_wait_modeled_ms));
+                  obs::FormatMs(outcome.queue_wait_modeled_ms));
         trace.AddModeled(outcome.queue_wait_modeled_ms);
         trace.Close(0.0);
         options_.tracer->Commit(std::move(trace));

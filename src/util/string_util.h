@@ -25,6 +25,14 @@ std::string Trim(const std::string& s);
 /// True when `s` begins with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 
+/// Escapes `s` for use inside a double-quoted JSON string: backslash,
+/// double quote, and control characters (RFC 8259 requires escaping
+/// U+0000..U+001F). Every hand-rolled JSON writer in the repo must run
+/// keys and string values through this — metric names carry literal
+/// label blocks (`x_total{reason="invalid"}`), so unescaped keys produce
+/// invalid JSON.
+std::string EscapeJson(const std::string& s);
+
 /// Parses a whole decimal integer into `*out`. False (out untouched) when
 /// `s` is empty, has trailing garbage, or does not fit an int — unlike
 /// `atoi`, which silently returns 0 on garbage and has undefined behavior

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <cstring>
 #include <thread>
@@ -37,6 +38,18 @@ TEST(CounterTest, IncrementByDelta) {
   counter.Increment(0);
   counter.Increment(37);
   EXPECT_EQ(counter.Value(), 42);
+}
+
+TEST(CounterTest, SetToAbsoluteMirrorsMonotonicSource) {
+  Counter counter;
+  counter.SetToAbsolute(10);
+  EXPECT_EQ(counter.Value(), 10);
+  counter.SetToAbsolute(10);  // idempotent
+  EXPECT_EQ(counter.Value(), 10);
+  counter.SetToAbsolute(25);
+  EXPECT_EQ(counter.Value(), 25);
+  counter.SetToAbsolute(3);  // a counter never goes backwards
+  EXPECT_EQ(counter.Value(), 25);
 }
 
 TEST(GaugeTest, RoundTripsExactBits) {
@@ -163,6 +176,53 @@ TEST(ExpositionTest, PrometheusTextGolden) {
   EXPECT_EQ(reg.PrometheusText(), expected);
 }
 
+// A family's labeled series sort after any metric whose next character
+// is in ('_', '{') — e.g. `rq_total` < `rq_total_x` < `rq_total{...}` —
+// so header emission must group by base name, never by adjacency, or the
+// family gets two # TYPE lines and Prometheus parsers reject the scrape.
+TEST(ExpositionTest, SplitFamilyEmitsOneTypeHeader) {
+  MetricsRegistry reg;
+  reg.counter("rq_total", "Requests")->Increment(5);
+  reg.counter("rq_total{kind=\"a\"}")->Increment(2);
+  reg.gauge("rq_total_x", "Sorts between the family's series")->Set(1.0);
+  const char* expected =
+      "# HELP rq_total Requests\n"
+      "# TYPE rq_total counter\n"
+      "rq_total 5\n"
+      "rq_total{kind=\"a\"} 2\n"
+      "# HELP rq_total_x Sorts between the family's series\n"
+      "# TYPE rq_total_x gauge\n"
+      "rq_total_x 1\n";
+  EXPECT_EQ(reg.PrometheusText(), expected);
+}
+
+// FormatDouble must not consult LC_NUMERIC: an embedding application
+// that calls setlocale() must not be able to turn "36.5" into "36,5"
+// (which breaks Prometheus parsing and the byte-identity contract).
+TEST(ExpositionTest, NumberFormattingIgnoresLocale) {
+  // Any locale whose decimal separator is ',' exercises the bug; skip
+  // (rather than fail) on minimal images that ship only "C"/"POSIX".
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  std::string saved = previous != nullptr ? previous : "C";
+  bool locale_available = false;
+  for (const char* name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      locale_available = true;
+      break;
+    }
+  }
+  if (!locale_available) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  MetricsRegistry reg;
+  reg.gauge("g_value")->Set(36.5);
+  std::string prom = reg.PrometheusText();
+  std::string json = reg.JsonText();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_NE(prom.find("g_value 36.5\n"), std::string::npos) << prom;
+  EXPECT_EQ(json, "{\"g_value\": 36.5}");
+}
+
 TEST(ExpositionTest, LabeledHistogramMergesLeIntoExistingLabels) {
   MetricsRegistry reg;
   Histogram* h =
@@ -188,6 +248,17 @@ TEST(ExpositionTest, JsonTextGolden) {
       "\"h_ms\": {\"buckets\": [{\"le\": \"1\", \"count\": 1}, "
       "{\"le\": \"inf\", \"count\": 2}], \"sum\": 4.25, \"count\": 2}}";
   EXPECT_EQ(reg.JsonText(), expected);
+}
+
+// Labeled metric names carry literal double quotes; as JSON keys they
+// must be escaped or the whole document is invalid (this is the shape
+// SolveService registers unconditionally, e.g.
+// qmqo_service_requests_rejected_total{reason="invalid"}).
+TEST(ExpositionTest, JsonTextEscapesLabeledNames) {
+  MetricsRegistry reg;
+  reg.counter("rq_rejected_total{reason=\"invalid\"}")->Increment(3);
+  EXPECT_EQ(reg.JsonText(),
+            "{\"rq_rejected_total{reason=\\\"invalid\\\"}\": 3}");
 }
 
 TEST(TraceTest, SpanTreeStructure) {
