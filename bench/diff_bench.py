@@ -3,7 +3,13 @@
 
 Usage:
     diff_bench.py FRESH_JSON BASELINE_JSON [--max-regression PCT]
-                  [--metric NAME]
+                  [--metric NAME] [--require-baseline]
+
+A missing BASELINE_JSON is not an error by default: a newly added bench
+has no committed baseline on its first run, and the gate skips with a
+warning (exit 0) telling the author to commit one. Pass
+--require-baseline to make a missing baseline fail instead (for benches
+whose baselines are known to be committed).
 
 Exits nonzero when
   * a top-level field present in one artifact is missing from the other
@@ -46,6 +52,7 @@ noise. Track fine-grained trends by archiving the uploaded artifacts.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -91,9 +98,25 @@ def main():
                         help="minimum tolerated csr_vs_map_speedup factor "
                              "when the fresh artifact reports one "
                              "(default: %(default)s)")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="fail when the baseline file is missing instead "
+                             "of skipping the comparison with a warning")
     args = parser.parse_args()
 
     fresh = load(args.fresh)
+    # A bench's very first run has no committed baseline; that is a
+    # skip-with-warning, not a crash — unless the caller asserts the
+    # baseline must exist.
+    if not os.path.exists(args.baseline):
+        if args.require_baseline:
+            print(f"FAIL: baseline {args.baseline} is missing and "
+                  "--require-baseline was given", file=sys.stderr)
+            return 1
+        print(f"WARNING: baseline {args.baseline} is missing; skipping the "
+              "comparison. Commit the fresh artifact as the baseline to "
+              "enable gating (or pass --require-baseline to make this an "
+              "error).", file=sys.stderr)
+        return 0
     baseline = load(args.baseline)
     fresh_rows = rows_by_key(fresh)
     baseline_rows = rows_by_key(baseline)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Unit tests for the diff_bench.py CI gate (stdlib unittest only).
+
+Run directly or via `python3 -m unittest` from the bench/ directory. The
+tests drive diff_bench.py as a subprocess, the way CI does, so argument
+parsing, exit codes, and stderr messaging are all covered as-shipped.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+DIFF_BENCH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "diff_bench.py")
+
+
+def run_diff(*argv):
+    return subprocess.run(
+        [sys.executable, DIFF_BENCH, *argv],
+        capture_output=True, text=True, check=False)
+
+
+def artifact(runs=None, **extra):
+    root = {"runs": runs if runs is not None else [
+        {"engine": "sa", "threads": 1, "sweep_spins_per_sec": 1.0e6,
+         "identical_to_serial": True}]}
+    root.update(extra)
+    return root
+
+
+class DiffBenchTest(unittest.TestCase):
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def test_identical_artifacts_pass(self):
+        fresh = self.write("fresh.json", artifact())
+        baseline = self.write("baseline.json", artifact())
+        result = run_diff(fresh, baseline)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_missing_baseline_skips_with_warning(self):
+        fresh = self.write("fresh.json", artifact())
+        missing = os.path.join(self.tmp.name, "no_such_baseline.json")
+        result = run_diff(fresh, missing)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("WARNING", result.stderr)
+        self.assertIn("skipping", result.stderr)
+
+    def test_missing_baseline_fails_when_required(self):
+        fresh = self.write("fresh.json", artifact())
+        missing = os.path.join(self.tmp.name, "no_such_baseline.json")
+        result = run_diff(fresh, missing, "--require-baseline")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("FAIL", result.stderr)
+
+    def test_missing_fresh_artifact_still_fails(self):
+        baseline = self.write("baseline.json", artifact())
+        missing = os.path.join(self.tmp.name, "no_such_fresh.json")
+        result = run_diff(missing, baseline)
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_throughput_regression_fails(self):
+        fresh = self.write("fresh.json", artifact(runs=[
+            {"engine": "sa", "threads": 1, "sweep_spins_per_sec": 1.0e5,
+             "identical_to_serial": True}]))
+        baseline = self.write("baseline.json", artifact())
+        result = run_diff(fresh, baseline)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("regressed", result.stderr)
+
+    def test_custom_metric_flag(self):
+        rows = [{"engine": "workload_max_cut", "threads": 1,
+                 "solves_per_sec": 100.0, "identical_to_serial": True}]
+        fresh = self.write("fresh.json", artifact(runs=rows))
+        baseline = self.write("baseline.json", artifact(runs=rows))
+        result = run_diff(fresh, baseline, "--metric", "solves_per_sec")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_field_parity_failure(self):
+        fresh = self.write("fresh.json", artifact())
+        baseline = self.write("baseline.json", artifact(extra_field=1.0))
+        result = run_diff(fresh, baseline)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("extra_field", result.stderr)
+
+    def test_stage_fields_are_informational(self):
+        fresh = self.write("fresh.json", artifact(stage_solve_ms=12.5))
+        baseline = self.write("baseline.json", artifact())
+        result = run_diff(fresh, baseline)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_fault_free_hot_path_gate(self):
+        fresh = self.write("fresh.json", artifact(solver_retries=3))
+        baseline = self.write("baseline.json", artifact(solver_retries=0))
+        result = run_diff(fresh, baseline)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("fault-free", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

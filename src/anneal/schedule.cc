@@ -36,17 +36,32 @@ std::pair<double, double> SuggestBetaRange(const qubo::IsingProblem& ising) {
          e < csr.row_offsets[static_cast<size_t>(i) + 1]; ++e) {
       field += std::fabs(csr.weights[static_cast<size_t>(e)]);
     }
+    // A spin whose field sum is inf or NaN (overflowing or non-finite
+    // couplings) says nothing useful about the temperature range — skip
+    // it rather than let one bad weight poison both betas.
+    if (!std::isfinite(field)) continue;
     if (field > 0.0) {
       max_field = std::max(max_field, field);
       min_field = std::min(min_field, field);
     }
   }
   if (max_field == 0.0) {
-    return {0.1, 1.0};  // trivial problem; any schedule works
+    return {0.1, 1.0};  // trivial (or fully degenerate) problem
   }
   if (!std::isfinite(min_field) || min_field <= 0.0) min_field = max_field;
   double beta_hot = std::log(2.0) / max_field;
   double beta_cold = std::log(100.0) / min_field;
+  // Extreme magnitudes (near-overflow couplings, denormal fields) push the
+  // betas toward 0 or inf, which inverts or degenerates downstream
+  // geometric schedules. Clamp to a band far outside anything a sane
+  // problem produces, keeping ordinary inputs bit-identical, and keep
+  // beta_hot a decade below the ceiling so cold > hot always holds.
+  constexpr double kMinBeta = 1e-9;
+  constexpr double kMaxBeta = 1e9;
+  beta_hot = std::clamp(beta_hot, kMinBeta, kMaxBeta / 10.0);
+  beta_cold = std::isfinite(beta_cold)
+                  ? std::clamp(beta_cold, kMinBeta, kMaxBeta)
+                  : kMaxBeta;
   if (beta_cold <= beta_hot) beta_cold = beta_hot * 10.0;
   return {beta_hot, beta_cold};
 }

@@ -46,6 +46,7 @@
 #include "harness/quantum_pipeline.h"
 #include "mqo/problem.h"
 #include "mqo/solution.h"
+#include "qubo/qubo.h"
 #include "util/status.h"
 
 namespace qmqo {
@@ -159,6 +160,11 @@ struct SolveReport {
   /// The backend that answered.
   SolveBackend backend = SolveBackend::kGreedy;
   mqo::MqoSolution solution{0};
+  /// Bare-QUBO answers (`SolveQubo`): the winning assignment (one 0/1 byte
+  /// per variable) and its energy. Empty / 0 for MQO solves, where the
+  /// answer lives in `solution` instead.
+  std::vector<uint8_t> qubo_assignment;
+  double qubo_energy = 0.0;
   double cost = 0.0;
   int total_attempts = 0;
   /// Re-attempts on the same backend (total attempts minus backends tried).
@@ -195,6 +201,21 @@ class ResilientSolver {
                     const embedding::Embedding& embedding,
                     const chimera::ChimeraGraph& graph,
                     const QuantumMqoOptions& options) const;
+
+  /// Solves a bare QUBO (no MQO structure, no embedding) through the same
+  /// degradation ladder, retry budget, deadline accounting, backoff, gate,
+  /// fault sites, and trace spans as `Solve`. The device rung cannot run
+  /// without an embedded MQO problem, so it is gated with a typed
+  /// `Unimplemented` (one attempt-0 record, no retry budget burned) and the
+  /// ladder enters at SQA. Each sampler's best read is refined by a
+  /// deterministic best-improvement single-flip descent; the greedy last
+  /// resort is that descent from all-zeros, which always answers. The
+  /// winning assignment and energy come back in
+  /// `SolveReport::qubo_assignment` / `qubo_energy` (`cost` mirrors the
+  /// energy). `options` supplies the executor/threads/kernel for the
+  /// samplers and the optional trace, exactly as in `Solve`.
+  SolveReport SolveQubo(const qubo::QuboProblem& problem,
+                        const QuantumMqoOptions& options) const;
 
   const SolvePolicy& policy() const { return policy_; }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -27,6 +28,10 @@
 #include "util/status.h"
 
 namespace qmqo {
+namespace workloads {
+class Workload;
+}  // namespace workloads
+
 namespace service {
 
 /// Scheduling class of a request. Interactive requests dequeue ahead of
@@ -54,6 +59,11 @@ struct QueuedRequest {
   /// False when no embedding could be derived for the instance — the
   /// device rung is unusable and admission degrades the entry rung.
   bool has_embedding = false;
+  /// Non-null for workload requests (max-clique / max-cut / coloring):
+  /// the formulated problem the solve runs against (`SolveQubo` on its
+  /// QUBO) instead of `problem`/`embedding`. Shared and immutable — the
+  /// outcome keeps a reference for decoding.
+  std::shared_ptr<const workloads::Workload> workload;
 };
 
 /// Bounded two-lane FIFO. Thread-safe.

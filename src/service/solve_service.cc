@@ -11,10 +11,31 @@
 #include "util/fault.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "workloads/serialization.h"
 
 namespace qmqo {
 namespace service {
 namespace {
+
+// Maximum accepted wire payload (mirrors both formats' own caps) — checked
+// before the tag scan so oversized hostile payloads are rejected up front.
+constexpr size_t kMaxSubmitTextBytes = 16u << 20;  // 16 MiB
+
+// The request-type tag: first token of the first non-blank, non-comment
+// line. One linear scan, no parsing.
+std::string LeadingRequestTag(const std::string& text) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = Trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.find(' ');
+    return space == std::string::npos ? line : line.substr(0, space);
+  }
+  return "";
+}
 
 // Entry rung implied by queue occupancy at round formation: 0 = full
 // ladder, 1 = skip device (SQA first), 2 = SA first, 3 = greedy only.
@@ -93,6 +114,13 @@ void SolveService::RegisterMetrics() {
                   harness::SolveBackendName(
                       static_cast<harness::SolveBackend>(b))),
         b == 0 ? "Successful answers by backend" : "");
+  }
+  for (int k = 0; k < 3; ++k) {
+    m_workload_accepted_[k] = registry_.counter(
+        StrFormat("qmqo_service_workload_accepted_total{kind=\"%s\"}",
+                  workloads::WorkloadKindName(
+                      static_cast<workloads::WorkloadKind>(k))),
+        k == 0 ? "Accepted workload requests by kind" : "");
   }
   m_rounds_ = registry_.counter("qmqo_service_rounds_total",
                                 "Scheduling rounds run");
@@ -226,6 +254,46 @@ Result<uint64_t> SolveService::Submit(mqo::MqoProblem problem,
 Result<uint64_t> SolveService::SubmitText(const std::string& text,
                                           RequestPriority priority,
                                           double deadline_ms) {
+  // Dispatch on the request-type tag (the first token of the first
+  // non-blank, non-comment line): "mqo" and "workload" route to their
+  // parsers; anything else is a typed InvalidArgument — an unknown tag
+  // must never fall through into a format parser whose errors would
+  // misreport it as a malformed instance of the wrong format.
+  if (text.size() > kMaxSubmitTextBytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    m_submitted_->Increment();
+    m_rejected_invalid_->Increment();
+    return Status::InvalidArgument(
+        StrFormat("oversized payload: %zu bytes (limit %zu)", text.size(),
+                  kMaxSubmitTextBytes));
+  }
+  const std::string tag = LeadingRequestTag(text);
+  if (tag == "workload") {
+    Result<workloads::WorkloadSpec> spec = workloads::FromText(text);
+    if (!spec.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      m_submitted_->Increment();
+      m_rejected_invalid_->Increment();
+      return spec.status();
+    }
+    Result<std::shared_ptr<workloads::Workload>> made =
+        workloads::MakeWorkload(*spec);
+    if (!made.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      m_submitted_->Increment();
+      m_rejected_invalid_->Increment();
+      return made.status();
+    }
+    return SubmitWorkload(std::move(made).value(), priority, deadline_ms);
+  }
+  if (tag != "mqo") {
+    std::lock_guard<std::mutex> lock(mutex_);
+    m_submitted_->Increment();
+    m_rejected_invalid_->Increment();
+    return Status::InvalidArgument(StrFormat(
+        "unknown request type tag '%s' (expected 'mqo' or 'workload')",
+        tag.c_str()));
+  }
   Result<mqo::MqoProblem> parsed = mqo::FromText(text);
   if (!parsed.ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -261,6 +329,33 @@ Result<uint64_t> SolveService::SubmitText(const std::string& text,
   request.embedding = std::move(embedding);
   request.has_embedding = has_embedding;
   return Enqueue(std::move(request));
+}
+
+Result<uint64_t> SolveService::SubmitWorkload(
+    std::shared_ptr<const workloads::Workload> workload,
+    RequestPriority priority, double deadline_ms) {
+  if (workload == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    m_submitted_->Increment();
+    m_rejected_invalid_->Increment();
+    return Status::InvalidArgument("null workload");
+  }
+  const int kind = static_cast<int>(workload->kind());
+  QueuedRequest request;
+  request.priority = priority;
+  request.deadline_ms =
+      deadline_ms < 0.0 ? options_.default_deadline_ms : deadline_ms;
+  // No embedding exists for a bare QUBO: admission degrades the entry rung
+  // past the device exactly as for an MQO request whose embedding did not
+  // fit, and SolveQubo's own gate records the typed skip.
+  request.has_embedding = false;
+  request.workload = std::move(workload);
+  Result<uint64_t> id = Enqueue(std::move(request));
+  if (id.ok() && kind >= 0 && kind < 3) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    m_workload_accepted_[kind]->Increment();
+  }
+  return id;
 }
 
 int SolveService::ProcessRound() {
@@ -398,9 +493,18 @@ int SolveService::ProcessRound() {
           RoundSlot& slot = slots[static_cast<size_t>(i)];
           if (slot.crashed) continue;
           if (slot.root_span >= 0) slot.pipeline.trace = &slot.trace;
-          slot.report = harness::ResilientSolver(slot.policy)
-                            .Solve(slot.request.problem, slot.request.embedding,
-                                   *graph, slot.pipeline);
+          if (slot.request.workload != nullptr) {
+            // Workload requests solve the formulated QUBO through the same
+            // ladder/budget machinery; no embedding, no device rung.
+            slot.report = harness::ResilientSolver(slot.policy)
+                              .SolveQubo(slot.request.workload->qubo(),
+                                         slot.pipeline);
+          } else {
+            slot.report = harness::ResilientSolver(slot.policy)
+                              .Solve(slot.request.problem,
+                                     slot.request.embedding, *graph,
+                                     slot.pipeline);
+          }
         }
       });
 
@@ -454,6 +558,18 @@ int SolveService::ProcessRound() {
       outcome.attempts = report.total_attempts;
       outcome.faults_observed = report.faults_observed;
       outcome.detail = report.FailureChain();
+      if (slot.request.workload != nullptr) {
+        outcome.workload = slot.request.workload;
+        if (report.ok) {
+          // Decode is a pure function of the winning assignment (repair
+          // included), so running it on the serial commit path keeps the
+          // outcome deterministic at any worker count for free.
+          outcome.workload_solution =
+              slot.request.workload->Decode(report.qubo_assignment);
+          outcome.workload_gap = slot.request.workload->OptimalityGap(
+              outcome.workload_solution);
+        }
+      }
       m_faults_observed_->Increment(report.faults_observed);
       if (report.ok) {
         m_completed_ok_->Increment();
@@ -476,6 +592,10 @@ int SolveService::ProcessRound() {
         trace.Tag("verdict", "failed");
       }
       trace.Tag("entry_rung", static_cast<int64_t>(outcome.entry_rung));
+      if (slot.request.workload != nullptr) {
+        trace.Tag("workload", workloads::WorkloadKindName(
+                                  slot.request.workload->kind()));
+      }
       if (slot.shed) trace.Tag("shed", static_cast<int64_t>(1));
       if (outcome.breaker_skips > 0) {
         trace.Tag("breaker_skips", static_cast<int64_t>(outcome.breaker_skips));

@@ -69,6 +69,7 @@
 #include "service/request_queue.h"
 #include "service/service_stats.h"
 #include "util/status.h"
+#include "workloads/workload.h"
 
 namespace qmqo {
 namespace util {
@@ -149,6 +150,14 @@ struct SolveOutcome {
   int64_t faults_observed = 0;
   /// Human-readable failure chain of the solve (empty when unscheduled).
   std::string detail;
+  /// Workload requests only: the formulated problem (null for MQO), the
+  /// decoded domain solution (clique members / cut sides / colors — always
+  /// repaired to the domain by `Workload::Decode`), and its optimality gap
+  /// against the generator-planted optimum. `cost` carries the raw QUBO
+  /// energy of the winning assignment.
+  std::shared_ptr<const workloads::Workload> workload;
+  workloads::WorkloadSolution workload_solution;
+  double workload_gap = 0.0;
 };
 
 /// The service. `Submit*` is thread-safe; `ProcessRound` / `DrainAll` /
@@ -176,6 +185,17 @@ class SolveService {
   Result<uint64_t> SubmitText(const std::string& text,
                               RequestPriority priority = RequestPriority::kBatch,
                               double deadline_ms = -1.0);
+
+  /// Submits a formulated workload (max-clique / max-cut / coloring). The
+  /// solve runs `ResilientSolver::SolveQubo` on the workload's QUBO —
+  /// there is no embedding, so the request enters the ladder at the first
+  /// classical rung, exactly like an MQO request whose embedding did not
+  /// fit. The outcome carries the decoded domain solution and its
+  /// optimality gap. Null workloads are `InvalidArgument`.
+  Result<uint64_t> SubmitWorkload(
+      std::shared_ptr<const workloads::Workload> workload,
+      RequestPriority priority = RequestPriority::kBatch,
+      double deadline_ms = -1.0);
 
   /// Runs one scheduling round: claims up to `round_width` requests, sheds
   /// expired ones, solves the rest in parallel, commits outcomes and
@@ -245,6 +265,8 @@ class SolveService {
   obs::Counter* m_breaker_skips_ = nullptr;
   obs::Counter* m_faults_observed_ = nullptr;
   obs::Counter* m_answered_by_[4] = {nullptr, nullptr, nullptr, nullptr};
+  /// Accepted workload requests by kind (max_clique / max_cut / coloring).
+  obs::Counter* m_workload_accepted_[3] = {nullptr, nullptr, nullptr};
   obs::Counter* m_rounds_ = nullptr;
   obs::Gauge* m_modeled_clock_ = nullptr;
   obs::Histogram* m_queue_wait_hist_ = nullptr;

@@ -1,0 +1,155 @@
+#include "workloads/coloring.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace workloads {
+
+ColoringWorkload::ColoringWorkload(Graph graph, int num_colors,
+                                   const ColoringOptions& options)
+    : graph_(std::move(graph)),
+      num_colors_(num_colors),
+      options_(options),
+      qubo_(graph_.num_nodes() * num_colors) {
+  const int n = graph_.num_nodes();
+  const int k = num_colors_;
+  const double a = options_.one_hot_penalty;
+  // A * (1 - sum_c x)^2 = A - 2A sum_c x + A sum_c x + 2A sum_{c<c'} x x
+  // (x^2 = x for binaries): linear -A per variable, +2A per same-vertex
+  // color pair, constant A*n carried by energy_offset().
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < k; ++c) {
+      qubo_.AddLinear(v * k + c, -a);
+      for (int c2 = c + 1; c2 < k; ++c2) {
+        qubo_.AddQuadratic(v * k + c, v * k + c2, 2.0 * a);
+      }
+    }
+  }
+  for (const Edge& e : graph_.edges()) {
+    for (int c = 0; c < k; ++c) {
+      qubo_.AddQuadratic(e.u * k + c, e.v * k + c,
+                         options_.conflict_penalty);
+    }
+  }
+  qubo_.Finalize();
+}
+
+Result<std::shared_ptr<ColoringWorkload>> ColoringWorkload::Create(
+    Graph graph, int num_colors, const ColoringOptions& options) {
+  if (graph.num_nodes() < 1) {
+    return Status::InvalidArgument("coloring graph needs >= 1 node");
+  }
+  if (num_colors < 1) {
+    return Status::InvalidArgument("coloring needs >= 1 color");
+  }
+  if (!std::isfinite(options.one_hot_penalty) ||
+      options.one_hot_penalty <= 0.0 ||
+      !std::isfinite(options.conflict_penalty) ||
+      options.conflict_penalty <= 0.0) {
+    return Status::InvalidArgument("coloring penalties must be positive");
+  }
+  return std::shared_ptr<ColoringWorkload>(new ColoringWorkload(
+      std::move(graph), num_colors, options));
+}
+
+Result<std::shared_ptr<ColoringWorkload>> ColoringWorkload::MakePlanted(
+    int num_nodes, int num_colors, double edge_prob, uint64_t seed,
+    const ColoringOptions& options) {
+  Result<KColorableInstance> instance =
+      KColorableGraph(num_nodes, num_colors, edge_prob, seed);
+  QMQO_RETURN_IF_ERROR(instance.status());
+  return Create(std::move(instance->graph), num_colors, options);
+}
+
+std::string ColoringWorkload::name() const {
+  return StrFormat("coloring(%dn/%de, k=%d)", graph_.num_nodes(),
+                   graph_.num_edges(), num_colors_);
+}
+
+double ColoringWorkload::ConflictCount(const std::vector<int>& color) const {
+  double conflicts = 0.0;
+  for (const Edge& e : graph_.edges()) {
+    if (color[static_cast<size_t>(e.u)] == color[static_cast<size_t>(e.v)]) {
+      conflicts += 1.0;
+    }
+  }
+  return conflicts;
+}
+
+WorkloadSolution ColoringWorkload::Decode(
+    const std::vector<uint8_t>& x) const {
+  const int n = graph_.num_nodes();
+  const int k = num_colors_;
+  WorkloadSolution solution;
+  solution.labels.resize(static_cast<size_t>(n), -1);
+  // Pass 1: vertices with exactly one hot color keep it (the well-formed
+  // one-hot reads).
+  for (int v = 0; v < n; ++v) {
+    int hot = -1;
+    int hot_count = 0;
+    for (int c = 0; c < k; ++c) {
+      const size_t var = static_cast<size_t>(v * k + c);
+      if (var < x.size() && x[var]) {
+        if (hot < 0) hot = c;
+        ++hot_count;
+      }
+    }
+    if (hot_count == 1) solution.labels[static_cast<size_t>(v)] = hot;
+  }
+  // Pass 2: repair the rest in id order — each unlabeled (or multi-hot)
+  // vertex takes the color with the fewest conflicts among neighbors
+  // already labeled, lowest color on ties. Pure function of the bits.
+  for (int v = 0; v < n; ++v) {
+    if (solution.labels[static_cast<size_t>(v)] >= 0) continue;
+    int best_color = 0;
+    int best_conflicts = graph_.num_nodes() + 1;
+    for (int c = 0; c < k; ++c) {
+      int conflicts = 0;
+      for (int u : graph_.neighbors(v)) {
+        if (solution.labels[static_cast<size_t>(u)] == c) ++conflicts;
+      }
+      if (conflicts < best_conflicts) {
+        best_conflicts = conflicts;
+        best_color = c;
+      }
+    }
+    solution.labels[static_cast<size_t>(v)] = best_color;
+  }
+  solution.objective = ConflictCount(solution.labels);
+  solution.feasible = solution.objective == 0.0;
+  return solution;
+}
+
+Status ColoringWorkload::ValidateFeasible(
+    const WorkloadSolution& solution) const {
+  const int n = graph_.num_nodes();
+  if (static_cast<int>(solution.labels.size()) != n) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d labels, got %zu", n, solution.labels.size()));
+  }
+  for (int v = 0; v < n; ++v) {
+    const int label = solution.labels[static_cast<size_t>(v)];
+    if (label < 0 || label >= num_colors_) {
+      return Status::InvalidArgument(StrFormat(
+          "node %d has color %d outside [0, %d)", v, label, num_colors_));
+    }
+  }
+  const double conflicts = ConflictCount(solution.labels);
+  if (conflicts != solution.objective) {
+    return Status::InvalidArgument(
+        StrFormat("objective %g does not match recomputed conflicts %g",
+                  solution.objective, conflicts));
+  }
+  if (conflicts > 0.0) {
+    return Status::InvalidArgument(StrFormat(
+        "%g conflicting edges — not a proper %d-coloring", conflicts,
+        num_colors_));
+  }
+  return Status::OK();
+}
+
+}  // namespace workloads
+}  // namespace qmqo

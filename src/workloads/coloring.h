@@ -1,0 +1,83 @@
+#ifndef QMQO_WORKLOADS_COLORING_H_
+#define QMQO_WORKLOADS_COLORING_H_
+
+/// \file coloring.h
+/// Graph k-coloring as a one-hot penalty QUBO.
+///
+/// k binary variables per vertex (x_{v,c} = 1 <=> v takes color c; the
+/// QUBO variable id is v*k + c):
+///
+///   minimize  A * sum_v (1 - sum_c x_{v,c})^2
+///           + B * sum_{(u,v) in E} sum_c x_{u,c} x_{v,c}
+///
+/// The first penalty enforces exactly-one-color per vertex, the second
+/// penalizes same-colored edges. Expanding the square leaves a constant
+/// A*n, tracked as `energy_offset()`, so a proper k-coloring has
+/// E(x) + offset == 0 — the generator-planted optimum of a k-colorable
+/// instance. Decoding repairs arbitrary bitstrings by assigning each
+/// vertex, in id order, the least-conflicting color among its already
+/// repaired neighbors (lowest color on ties).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace qmqo {
+namespace workloads {
+
+/// Penalty weights of the coloring QUBO. The defaults (A = B = 1) already
+/// make zero-conflict colorings exactly the zero-energy states.
+struct ColoringOptions {
+  double one_hot_penalty = 1.0;   ///< A
+  double conflict_penalty = 1.0;  ///< B
+};
+
+class ColoringWorkload : public Workload {
+ public:
+  /// Formulates `graph` with `num_colors` colors. The planted optimum is
+  /// zero conflicts (the graph must be k-colorable by construction).
+  static Result<std::shared_ptr<ColoringWorkload>> Create(
+      Graph graph, int num_colors,
+      const ColoringOptions& options = ColoringOptions());
+
+  /// Convenience: generates a k-partite planted instance (see
+  /// `KColorableGraph`) and formulates it.
+  static Result<std::shared_ptr<ColoringWorkload>> MakePlanted(
+      int num_nodes, int num_colors, double edge_prob, uint64_t seed,
+      const ColoringOptions& options = ColoringOptions());
+
+  WorkloadKind kind() const override { return WorkloadKind::kGraphColoring; }
+  std::string name() const override;
+  const Graph& graph() const override { return graph_; }
+  const qubo::QuboProblem& qubo() const override { return qubo_; }
+  /// The constant A*n from expanding the one-hot squares.
+  double energy_offset() const override {
+    return options_.one_hot_penalty * graph_.num_nodes();
+  }
+  /// Zero conflicting edges (the instance is k-colorable by construction).
+  double known_optimum() const override { return 0.0; }
+  ObjectiveSense sense() const override { return ObjectiveSense::kMinimize; }
+  WorkloadSolution Decode(const std::vector<uint8_t>& x) const override;
+  Status ValidateFeasible(const WorkloadSolution& solution) const override;
+
+  int num_colors() const { return num_colors_; }
+
+  /// Number of edges whose endpoints share a color.
+  double ConflictCount(const std::vector<int>& color) const;
+
+ private:
+  ColoringWorkload(Graph graph, int num_colors,
+                   const ColoringOptions& options);
+
+  Graph graph_;
+  int num_colors_;
+  ColoringOptions options_;
+  qubo::QuboProblem qubo_;
+};
+
+}  // namespace workloads
+}  // namespace qmqo
+
+#endif  // QMQO_WORKLOADS_COLORING_H_

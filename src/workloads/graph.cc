@@ -1,0 +1,229 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace workloads {
+
+Graph::Graph(int num_nodes) : num_nodes_(num_nodes < 0 ? 0 : num_nodes) {}
+
+Status Graph::AddEdge(int u, int v, double weight) {
+  if (u < 0 || v < 0 || u >= num_nodes_ || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%d, %d) out of range for %d nodes", u, v,
+                  num_nodes_));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop on node %d", u));
+  }
+  if (!std::isfinite(weight) || weight <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%d, %d) has non-positive or non-finite weight", u,
+                  v));
+  }
+  if (HasEdge(u, v)) {
+    return Status::InvalidArgument(
+        StrFormat("duplicate edge (%d, %d)", std::min(u, v), std::max(u, v)));
+  }
+  Edge edge;
+  edge.u = std::min(u, v);
+  edge.v = std::max(u, v);
+  edge.weight = weight;
+  auto pos = std::lower_bound(edges_.begin(), edges_.end(), edge,
+                              [](const Edge& a, const Edge& b) {
+                                return a.u != b.u ? a.u < b.u : a.v < b.v;
+                              });
+  edges_.insert(pos, edge);
+  adjacency_built_ = false;
+  return Status::OK();
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  Edge probe;
+  probe.u = std::min(u, v);
+  probe.v = std::max(u, v);
+  auto pos = std::lower_bound(edges_.begin(), edges_.end(), probe,
+                              [](const Edge& a, const Edge& b) {
+                                return a.u != b.u ? a.u < b.u : a.v < b.v;
+                              });
+  return pos != edges_.end() && pos->u == probe.u && pos->v == probe.v;
+}
+
+void Graph::EnsureAdjacency() const {
+  if (adjacency_built_) return;
+  adjacency_.assign(static_cast<size_t>(num_nodes_), {});
+  for (const Edge& e : edges_) {
+    adjacency_[static_cast<size_t>(e.u)].push_back(e.v);
+    adjacency_[static_cast<size_t>(e.v)].push_back(e.u);
+  }
+  for (std::vector<int>& row : adjacency_) {
+    std::sort(row.begin(), row.end());
+  }
+  adjacency_built_ = true;
+}
+
+const std::vector<int>& Graph::neighbors(int v) const {
+  EnsureAdjacency();
+  return adjacency_[static_cast<size_t>(v)];
+}
+
+double Graph::total_weight() const {
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.weight;
+  return total;
+}
+
+std::string Graph::Summary() const {
+  return StrFormat("Graph(%d nodes, %d edges)", num_nodes_, num_edges());
+}
+
+Result<PlantedCliqueInstance> PlantedCliqueGraph(int num_nodes,
+                                                 int clique_size,
+                                                 double edge_prob,
+                                                 uint64_t seed) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument(
+        StrFormat("planted clique needs >= 2 nodes, got %d", num_nodes));
+  }
+  if (clique_size < 2 || clique_size > num_nodes) {
+    return Status::InvalidArgument(
+        StrFormat("clique size %d out of range [2, %d]", clique_size,
+                  num_nodes));
+  }
+  if (!std::isfinite(edge_prob) || edge_prob < 0.0 || edge_prob > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0, 1]");
+  }
+  Rng rng(seed);
+  PlantedCliqueInstance instance;
+  instance.graph = Graph(num_nodes);
+  instance.clique = rng.SampleWithoutReplacement(num_nodes, clique_size);
+  std::sort(instance.clique.begin(), instance.clique.end());
+  std::vector<uint8_t> planted(static_cast<size_t>(num_nodes), 0);
+  for (int v : instance.clique) planted[static_cast<size_t>(v)] = 1;
+  for (size_t a = 0; a + 1 < instance.clique.size(); ++a) {
+    for (size_t b = a + 1; b < instance.clique.size(); ++b) {
+      Status added =
+          instance.graph.AddEdge(instance.clique[a], instance.clique[b]);
+      if (!added.ok()) return added;
+    }
+  }
+  // Background edges, capped so every non-planted vertex keeps degree
+  // <= clique_size - 1: a clique through an outside vertex v has at most
+  // degree(v) + 1 members, so the planted clique stays uniquely maximal
+  // in size. The degree draw order is fixed (lexicographic pairs) so the
+  // instance is a pure function of the seed.
+  std::vector<int> degree(static_cast<size_t>(num_nodes), 0);
+  for (const Edge& e : instance.graph.edges()) {
+    ++degree[static_cast<size_t>(e.u)];
+    ++degree[static_cast<size_t>(e.v)];
+  }
+  const int cap = clique_size - 1;
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      if (planted[static_cast<size_t>(u)] &&
+          planted[static_cast<size_t>(v)]) {
+        continue;  // already a clique edge
+      }
+      if (!rng.Bernoulli(edge_prob)) continue;
+      if (!planted[static_cast<size_t>(u)] &&
+          degree[static_cast<size_t>(u)] >= cap) {
+        continue;
+      }
+      if (!planted[static_cast<size_t>(v)] &&
+          degree[static_cast<size_t>(v)] >= cap) {
+        continue;
+      }
+      Status added = instance.graph.AddEdge(u, v);
+      if (!added.ok()) return added;
+      ++degree[static_cast<size_t>(u)];
+      ++degree[static_cast<size_t>(v)];
+    }
+  }
+  return instance;
+}
+
+Result<PlantedCutInstance> PlantedCutGraph(int num_nodes, double edge_prob,
+                                           double max_weight, uint64_t seed) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument(
+        StrFormat("planted cut needs >= 2 nodes, got %d", num_nodes));
+  }
+  if (!std::isfinite(edge_prob) || edge_prob < 0.0 || edge_prob > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0, 1]");
+  }
+  if (!std::isfinite(max_weight) || max_weight < 1.0) {
+    return Status::InvalidArgument("max edge weight must be >= 1");
+  }
+  Rng rng(seed);
+  PlantedCutInstance instance;
+  instance.graph = Graph(num_nodes);
+  instance.side.resize(static_cast<size_t>(num_nodes));
+  // Alternate the first two nodes deterministically so neither side is
+  // ever empty, then assign the rest uniformly.
+  for (int v = 0; v < num_nodes; ++v) {
+    instance.side[static_cast<size_t>(v)] =
+        v < 2 ? v : (rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      if (instance.side[static_cast<size_t>(u)] ==
+          instance.side[static_cast<size_t>(v)]) {
+        continue;  // only cross edges: the planted cut captures everything
+      }
+      if (!rng.Bernoulli(edge_prob)) continue;
+      Status added = instance.graph.AddEdge(
+          u, v, max_weight > 1.0 ? rng.UniformReal(1.0, max_weight) : 1.0);
+      if (!added.ok()) return added;
+    }
+  }
+  return instance;
+}
+
+Result<KColorableInstance> KColorableGraph(int num_nodes, int num_colors,
+                                           double edge_prob, uint64_t seed) {
+  if (num_colors < 2 || num_colors > num_nodes) {
+    return Status::InvalidArgument(
+        StrFormat("color count %d out of range [2, %d]", num_colors,
+                  num_nodes));
+  }
+  if (!std::isfinite(edge_prob) || edge_prob < 0.0 || edge_prob > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0, 1]");
+  }
+  Rng rng(seed);
+  KColorableInstance instance;
+  instance.graph = Graph(num_nodes);
+  instance.num_colors = num_colors;
+  instance.color.resize(static_cast<size_t>(num_nodes));
+  // Round-robin group assignment keeps every group non-empty; nodes
+  // 0..k-1 (one per group) double as the embedded k-clique that pins the
+  // chromatic number at exactly k.
+  for (int v = 0; v < num_nodes; ++v) {
+    instance.color[static_cast<size_t>(v)] = v % num_colors;
+  }
+  for (int u = 0; u < num_colors; ++u) {
+    for (int v = u + 1; v < num_colors; ++v) {
+      Status added = instance.graph.AddEdge(u, v);
+      if (!added.ok()) return added;
+    }
+  }
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      if (instance.color[static_cast<size_t>(u)] ==
+          instance.color[static_cast<size_t>(v)]) {
+        continue;  // intra-group edges would break k-colorability
+      }
+      if (u < num_colors && v < num_colors) continue;  // clique edge exists
+      if (!rng.Bernoulli(edge_prob)) continue;
+      Status added = instance.graph.AddEdge(u, v);
+      if (!added.ok()) return added;
+    }
+  }
+  return instance;
+}
+
+}  // namespace workloads
+}  // namespace qmqo

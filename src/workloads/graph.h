@@ -1,0 +1,136 @@
+#ifndef QMQO_WORKLOADS_GRAPH_H_
+#define QMQO_WORKLOADS_GRAPH_H_
+
+/// \file graph.h
+/// Simple undirected weighted graphs for the combinatorial workloads
+/// (max-clique, max-cut, graph coloring), plus seeded instance generators
+/// that *plant* a known optimum by construction — so every workload solve
+/// can be validated end-to-end against provable ground truth instead of a
+/// hoped-for heuristic answer:
+///
+///  * `PlantedCliqueGraph` plants a k-clique and caps every non-planted
+///    vertex's degree at k-1, so no clique containing an outside vertex
+///    can reach size k+1 — the planted clique is provably maximum.
+///  * `PlantedCutGraph` builds a bipartite graph (every edge crosses the
+///    planted partition), so the planted cut provably equals the total
+///    edge weight — the maximum any cut can reach.
+///  * `KColorableGraph` builds a k-partite graph (edges only between
+///    groups) and embeds one k-clique across the groups, so the chromatic
+///    number is provably exactly k and the planted group assignment is a
+///    proper k-coloring.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qmqo {
+namespace workloads {
+
+/// One undirected edge (canonical u < v) with a positive weight.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 1.0;
+};
+
+/// A simple undirected weighted graph: no self-loops, no duplicate edges,
+/// edges stored canonically (u < v) and sorted lexicographically. Build
+/// with `AddEdge`, then share const references freely.
+class Graph {
+ public:
+  explicit Graph(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge; rejects self-loops, out-of-range endpoints,
+  /// duplicate edges, and non-positive or non-finite weights.
+  Status AddEdge(int u, int v, double weight = 1.0);
+
+  /// True when the canonical edge (min(u,v), max(u,v)) exists.
+  bool HasEdge(int u, int v) const;
+
+  /// Edges in canonical sorted order.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbor ids of `v`, ascending. Built lazily; call once
+  /// single-threaded before sharing across threads.
+  const std::vector<int>& neighbors(int v) const;
+
+  /// Degree of `v`.
+  int degree(int v) const {
+    return static_cast<int>(neighbors(v).size());
+  }
+
+  /// Sum of all edge weights.
+  double total_weight() const;
+
+  /// One-line summary, e.g. "Graph(24 nodes, 61 edges)".
+  std::string Summary() const;
+
+ private:
+  void EnsureAdjacency() const;
+
+  int num_nodes_;
+  std::vector<Edge> edges_;
+  mutable bool adjacency_built_ = false;
+  mutable std::vector<std::vector<int>> adjacency_;
+};
+
+/// A planted-clique instance: `graph` contains a clique over `clique`
+/// (size k), and every vertex outside it has degree <= k-1, so the maximum
+/// clique size is exactly k.
+struct PlantedCliqueInstance {
+  Graph graph{0};
+  std::vector<int> clique;  ///< planted members, ascending
+};
+
+/// Generates a planted-clique graph: `clique_size` random vertices form a
+/// clique; background edges appear with probability `edge_prob` but are
+/// skipped whenever they would lift a non-planted endpoint's degree to
+/// `clique_size` (which could create a larger clique through it). Requires
+/// 2 <= clique_size <= num_nodes and edge_prob in [0, 1].
+Result<PlantedCliqueInstance> PlantedCliqueGraph(int num_nodes,
+                                                 int clique_size,
+                                                 double edge_prob,
+                                                 uint64_t seed);
+
+/// A planted-cut instance: `graph` is bipartite over `side` (0/1 per
+/// node), every edge crosses, so the maximum cut weight is exactly
+/// `graph.total_weight()`, attained by the planted sides.
+struct PlantedCutInstance {
+  Graph graph{0};
+  std::vector<int> side;  ///< planted partition side of each node (0/1)
+};
+
+/// Generates a bipartite planted-cut graph: nodes are split into two sides
+/// (each node uniformly), and cross edges appear with probability
+/// `edge_prob` carrying weights uniform in [1, max_weight]. Requires
+/// num_nodes >= 2, edge_prob in [0, 1], max_weight >= 1.
+Result<PlantedCutInstance> PlantedCutGraph(int num_nodes, double edge_prob,
+                                           double max_weight, uint64_t seed);
+
+/// A planted-coloring instance: `graph` is `num_colors`-partite over
+/// `color` and contains a clique spanning all `num_colors` groups, so the
+/// chromatic number is exactly `num_colors` and `color` is a proper
+/// coloring.
+struct KColorableInstance {
+  Graph graph{0};
+  int num_colors = 0;
+  std::vector<int> color;  ///< planted proper coloring of each node
+};
+
+/// Generates a k-partite graph: each node joins one of `num_colors` groups
+/// round-robin (so every group is non-empty), cross-group edges appear
+/// with probability `edge_prob`, and one vertex per group is wired into a
+/// k-clique (forcing the chromatic number up to exactly k). Requires
+/// 2 <= num_colors <= num_nodes and edge_prob in [0, 1].
+Result<KColorableInstance> KColorableGraph(int num_nodes, int num_colors,
+                                           double edge_prob, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace qmqo
+
+#endif  // QMQO_WORKLOADS_GRAPH_H_

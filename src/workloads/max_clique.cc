@@ -1,0 +1,144 @@
+#include "workloads/max_clique.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace workloads {
+
+MaxCliqueWorkload::MaxCliqueWorkload(Graph graph, int known_clique_size,
+                                     const MaxCliqueOptions& options)
+    : graph_(std::move(graph)),
+      known_clique_size_(known_clique_size),
+      options_(options),
+      qubo_(graph_.num_nodes()) {
+  const int n = graph_.num_nodes();
+  for (int v = 0; v < n; ++v) {
+    qubo_.AddLinear(v, -options_.vertex_reward);
+  }
+  // Penalize every *complement* pair. Quadratic in n, which is fine at the
+  // workload sizes the annealers handle; the interaction list stays sparse
+  // for dense graphs (few non-edges).
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!graph_.HasEdge(u, v)) {
+        qubo_.AddQuadratic(u, v, options_.conflict_penalty);
+      }
+    }
+  }
+  qubo_.Finalize();
+}
+
+Result<std::shared_ptr<MaxCliqueWorkload>> MaxCliqueWorkload::Create(
+    Graph graph, int known_clique_size, const MaxCliqueOptions& options) {
+  if (graph.num_nodes() < 1) {
+    return Status::InvalidArgument("max-clique graph needs >= 1 node");
+  }
+  if (!std::isfinite(options.vertex_reward) || options.vertex_reward <= 0.0) {
+    return Status::InvalidArgument("vertex reward A must be positive");
+  }
+  if (!std::isfinite(options.conflict_penalty) ||
+      options.conflict_penalty <= options.vertex_reward) {
+    return Status::InvalidArgument(
+        "conflict penalty B must exceed the vertex reward A or ground "
+        "states may select non-edges");
+  }
+  if (known_clique_size < 1 || known_clique_size > graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("known clique size %d out of range [1, %d]",
+                  known_clique_size, graph.num_nodes()));
+  }
+  return std::shared_ptr<MaxCliqueWorkload>(new MaxCliqueWorkload(
+      std::move(graph), known_clique_size, options));
+}
+
+Result<std::shared_ptr<MaxCliqueWorkload>> MaxCliqueWorkload::MakePlanted(
+    int num_nodes, int clique_size, double edge_prob, uint64_t seed,
+    const MaxCliqueOptions& options) {
+  Result<PlantedCliqueInstance> instance =
+      PlantedCliqueGraph(num_nodes, clique_size, edge_prob, seed);
+  QMQO_RETURN_IF_ERROR(instance.status());
+  return Create(std::move(instance->graph), clique_size, options);
+}
+
+std::string MaxCliqueWorkload::name() const {
+  return StrFormat("max_clique(%dn/%de, planted %d)", graph_.num_nodes(),
+                   graph_.num_edges(), known_clique_size_);
+}
+
+WorkloadSolution MaxCliqueWorkload::Decode(
+    const std::vector<uint8_t>& x) const {
+  const int n = graph_.num_nodes();
+  std::vector<uint8_t> in(static_cast<size_t>(n), 0);
+  for (int v = 0; v < n && v < static_cast<int>(x.size()); ++v) {
+    in[static_cast<size_t>(v)] = x[static_cast<size_t>(v)] ? 1 : 0;
+  }
+  // Repair: while the selection has a non-adjacent pair, drop the vertex
+  // with the most missing edges inside the selection (lowest id on ties).
+  // Pure function of the input bits — repeated decodes agree byte-for-byte.
+  while (true) {
+    int worst = -1;
+    int worst_conflicts = 0;
+    for (int v = 0; v < n; ++v) {
+      if (!in[static_cast<size_t>(v)]) continue;
+      int conflicts = 0;
+      for (int u = 0; u < n; ++u) {
+        if (u == v || !in[static_cast<size_t>(u)]) continue;
+        if (!graph_.HasEdge(u, v)) ++conflicts;
+      }
+      if (conflicts > worst_conflicts) {
+        worst_conflicts = conflicts;
+        worst = v;
+      }
+    }
+    if (worst < 0) break;
+    in[static_cast<size_t>(worst)] = 0;
+  }
+  WorkloadSolution solution;
+  solution.labels.assign(in.begin(), in.end());
+  int size = 0;
+  for (uint8_t bit : in) size += bit;
+  solution.objective = static_cast<double>(size);
+  solution.feasible = true;
+  return solution;
+}
+
+Status MaxCliqueWorkload::ValidateFeasible(
+    const WorkloadSolution& solution) const {
+  const int n = graph_.num_nodes();
+  if (static_cast<int>(solution.labels.size()) != n) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d labels, got %zu", n, solution.labels.size()));
+  }
+  int size = 0;
+  for (int v = 0; v < n; ++v) {
+    const int label = solution.labels[static_cast<size_t>(v)];
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument(
+          StrFormat("node %d has non-binary clique label %d", v, label));
+    }
+    size += label;
+  }
+  for (int u = 0; u < n; ++u) {
+    if (!solution.labels[static_cast<size_t>(u)]) continue;
+    for (int v = u + 1; v < n; ++v) {
+      if (!solution.labels[static_cast<size_t>(v)]) continue;
+      if (!graph_.HasEdge(u, v)) {
+        return Status::InvalidArgument(StrFormat(
+            "selected nodes %d and %d are not adjacent — not a clique", u,
+            v));
+      }
+    }
+  }
+  if (static_cast<double>(size) != solution.objective) {
+    return Status::InvalidArgument(
+        StrFormat("objective %g does not match selected size %d",
+                  solution.objective, size));
+  }
+  return Status::OK();
+}
+
+}  // namespace workloads
+}  // namespace qmqo

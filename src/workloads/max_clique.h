@@ -1,0 +1,75 @@
+#ifndef QMQO_WORKLOADS_MAX_CLIQUE_H_
+#define QMQO_WORKLOADS_MAX_CLIQUE_H_
+
+/// \file max_clique.h
+/// Maximum clique as a penalty QUBO (the Chapuis et al. formulation).
+///
+/// One binary variable per vertex (x_v = 1 <=> v in the clique):
+///
+///   minimize  -A * sum_v x_v  +  B * sum_{(u,v) NOT in E, u<v} x_u x_v
+///
+/// With B > A (default A=1, B=2) selecting any non-adjacent pair costs
+/// more than the reward of one vertex, so every ground state is a maximum
+/// clique with energy exactly -A * omega(G). Decoding repairs infeasible
+/// sets by deterministically dropping the most-conflicted vertex until the
+/// selection is a clique, so any sampler read yields a valid clique.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace qmqo {
+namespace workloads {
+
+/// Penalty weights of the clique QUBO. `conflict_penalty` must exceed
+/// `vertex_reward` or ground states may include non-edges.
+struct MaxCliqueOptions {
+  double vertex_reward = 1.0;     ///< A
+  double conflict_penalty = 2.0;  ///< B
+};
+
+class MaxCliqueWorkload : public Workload {
+ public:
+  /// Formulates `graph`; `known_clique_size` is the generator-planted
+  /// maximum clique size (the provable optimum). Fails when the options
+  /// are degenerate (non-positive A, B <= A).
+  static Result<std::shared_ptr<MaxCliqueWorkload>> Create(
+      Graph graph, int known_clique_size,
+      const MaxCliqueOptions& options = MaxCliqueOptions());
+
+  /// Convenience: generates a planted-clique instance (see
+  /// `PlantedCliqueGraph`) and formulates it.
+  static Result<std::shared_ptr<MaxCliqueWorkload>> MakePlanted(
+      int num_nodes, int clique_size, double edge_prob, uint64_t seed,
+      const MaxCliqueOptions& options = MaxCliqueOptions());
+
+  WorkloadKind kind() const override { return WorkloadKind::kMaxClique; }
+  std::string name() const override;
+  const Graph& graph() const override { return graph_; }
+  const qubo::QuboProblem& qubo() const override { return qubo_; }
+  double energy_offset() const override { return 0.0; }
+  double known_optimum() const override {
+    return static_cast<double>(known_clique_size_);
+  }
+  ObjectiveSense sense() const override { return ObjectiveSense::kMaximize; }
+  WorkloadSolution Decode(const std::vector<uint8_t>& x) const override;
+  Status ValidateFeasible(const WorkloadSolution& solution) const override;
+
+  const MaxCliqueOptions& options() const { return options_; }
+
+ private:
+  MaxCliqueWorkload(Graph graph, int known_clique_size,
+                    const MaxCliqueOptions& options);
+
+  Graph graph_;
+  int known_clique_size_;
+  MaxCliqueOptions options_;
+  qubo::QuboProblem qubo_;
+};
+
+}  // namespace workloads
+}  // namespace qmqo
+
+#endif  // QMQO_WORKLOADS_MAX_CLIQUE_H_

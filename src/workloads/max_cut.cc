@@ -1,0 +1,97 @@
+#include "workloads/max_cut.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace qmqo {
+namespace workloads {
+
+MaxCutWorkload::MaxCutWorkload(Graph graph, double known_cut_weight)
+    : graph_(std::move(graph)),
+      known_cut_weight_(known_cut_weight),
+      qubo_(graph_.num_nodes()) {
+  for (const Edge& e : graph_.edges()) {
+    qubo_.AddLinear(e.u, -e.weight);
+    qubo_.AddLinear(e.v, -e.weight);
+    qubo_.AddQuadratic(e.u, e.v, 2.0 * e.weight);
+  }
+  qubo_.Finalize();
+}
+
+Result<std::shared_ptr<MaxCutWorkload>> MaxCutWorkload::Create(
+    Graph graph, double known_cut_weight) {
+  if (graph.num_nodes() < 2) {
+    return Status::InvalidArgument("max-cut graph needs >= 2 nodes");
+  }
+  if (!std::isfinite(known_cut_weight) || known_cut_weight < 0.0) {
+    return Status::InvalidArgument(
+        "known cut weight must be finite and non-negative");
+  }
+  return std::shared_ptr<MaxCutWorkload>(
+      new MaxCutWorkload(std::move(graph), known_cut_weight));
+}
+
+Result<std::shared_ptr<MaxCutWorkload>> MaxCutWorkload::MakePlanted(
+    int num_nodes, double edge_prob, double max_weight, uint64_t seed) {
+  Result<PlantedCutInstance> instance =
+      PlantedCutGraph(num_nodes, edge_prob, max_weight, seed);
+  QMQO_RETURN_IF_ERROR(instance.status());
+  const double total = instance->graph.total_weight();
+  return Create(std::move(instance->graph), total);
+}
+
+std::string MaxCutWorkload::name() const {
+  return StrFormat("max_cut(%dn/%de, planted %g)", graph_.num_nodes(),
+                   graph_.num_edges(), known_cut_weight_);
+}
+
+double MaxCutWorkload::CutWeight(const std::vector<int>& side) const {
+  double cut = 0.0;
+  for (const Edge& e : graph_.edges()) {
+    if (side[static_cast<size_t>(e.u)] != side[static_cast<size_t>(e.v)]) {
+      cut += e.weight;
+    }
+  }
+  return cut;
+}
+
+WorkloadSolution MaxCutWorkload::Decode(const std::vector<uint8_t>& x) const {
+  const int n = graph_.num_nodes();
+  WorkloadSolution solution;
+  solution.labels.resize(static_cast<size_t>(n), 0);
+  for (int v = 0; v < n && v < static_cast<int>(x.size()); ++v) {
+    solution.labels[static_cast<size_t>(v)] =
+        x[static_cast<size_t>(v)] ? 1 : 0;
+  }
+  solution.objective = CutWeight(solution.labels);
+  solution.feasible = true;  // every bipartition is a cut
+  return solution;
+}
+
+Status MaxCutWorkload::ValidateFeasible(
+    const WorkloadSolution& solution) const {
+  const int n = graph_.num_nodes();
+  if (static_cast<int>(solution.labels.size()) != n) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d labels, got %zu", n, solution.labels.size()));
+  }
+  for (int v = 0; v < n; ++v) {
+    const int label = solution.labels[static_cast<size_t>(v)];
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument(
+          StrFormat("node %d has non-binary cut side %d", v, label));
+    }
+  }
+  const double cut = CutWeight(solution.labels);
+  if (std::fabs(cut - solution.objective) > 1e-9 * (1.0 + std::fabs(cut))) {
+    return Status::InvalidArgument(
+        StrFormat("objective %g does not match recomputed cut weight %g",
+                  solution.objective, cut));
+  }
+  return Status::OK();
+}
+
+}  // namespace workloads
+}  // namespace qmqo

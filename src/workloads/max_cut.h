@@ -1,0 +1,62 @@
+#ifndef QMQO_WORKLOADS_MAX_CUT_H_
+#define QMQO_WORKLOADS_MAX_CUT_H_
+
+/// \file max_cut.h
+/// Weighted maximum cut as a QUBO (the textbook Djidjev et al. mapping).
+///
+/// One binary variable per vertex (x_v = side of the cut):
+///
+///   minimize  sum_{(u,v) in E} w_uv * (2 x_u x_v - x_u - x_v)
+///
+/// Each edge contributes -w_uv exactly when its endpoints differ, so
+/// E(x) = -cut(x) and the ground energy is -maxcut(G). There are no hard
+/// constraints: every bitstring is a feasible cut, which makes this the
+/// pure-objective stress test of the sampler stack (no penalty tuning).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace qmqo {
+namespace workloads {
+
+class MaxCutWorkload : public Workload {
+ public:
+  /// Formulates `graph`; `known_cut_weight` is the generator-planted
+  /// maximum cut weight (for bipartite planted cuts: the total weight).
+  static Result<std::shared_ptr<MaxCutWorkload>> Create(
+      Graph graph, double known_cut_weight);
+
+  /// Convenience: generates a bipartite planted-cut instance (see
+  /// `PlantedCutGraph`) and formulates it; the known optimum is the
+  /// instance's total edge weight.
+  static Result<std::shared_ptr<MaxCutWorkload>> MakePlanted(
+      int num_nodes, double edge_prob, double max_weight, uint64_t seed);
+
+  WorkloadKind kind() const override { return WorkloadKind::kMaxCut; }
+  std::string name() const override;
+  const Graph& graph() const override { return graph_; }
+  const qubo::QuboProblem& qubo() const override { return qubo_; }
+  double energy_offset() const override { return 0.0; }
+  double known_optimum() const override { return known_cut_weight_; }
+  ObjectiveSense sense() const override { return ObjectiveSense::kMaximize; }
+  WorkloadSolution Decode(const std::vector<uint8_t>& x) const override;
+  Status ValidateFeasible(const WorkloadSolution& solution) const override;
+
+  /// Cut weight of a 0/1 side assignment.
+  double CutWeight(const std::vector<int>& side) const;
+
+ private:
+  MaxCutWorkload(Graph graph, double known_cut_weight);
+
+  Graph graph_;
+  double known_cut_weight_;
+  qubo::QuboProblem qubo_;
+};
+
+}  // namespace workloads
+}  // namespace qmqo
+
+#endif  // QMQO_WORKLOADS_MAX_CUT_H_

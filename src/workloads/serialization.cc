@@ -1,0 +1,214 @@
+#include "workloads/serialization.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "workloads/coloring.h"
+#include "workloads/max_clique.h"
+#include "workloads/max_cut.h"
+
+namespace qmqo {
+namespace workloads {
+namespace {
+
+/// Hostile-input guards, mirroring the MQO wire format: cap the payload
+/// before any work, and cap the node count before sizing any allocation
+/// by it.
+constexpr size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+constexpr int kMaxNodes = 1 << 20;
+constexpr int kMaxColors = 1 << 10;
+
+}  // namespace
+
+std::string ToText(const WorkloadSpec& spec) {
+  std::string out = "workload v1\n";
+  out += StrFormat("type %s\n", WorkloadKindName(spec.kind));
+  out += StrFormat("nodes %d\n", spec.graph.num_nodes());
+  if (spec.kind == WorkloadKind::kGraphColoring) {
+    out += StrFormat("colors %d\n", spec.num_colors);
+  }
+  if (spec.has_optimum) {
+    out += StrFormat("optimum %.17g\n", spec.optimum);
+  }
+  for (const Edge& e : spec.graph.edges()) {
+    if (e.weight == 1.0) {
+      out += StrFormat("edge %d %d\n", e.u, e.v);
+    } else {
+      out += StrFormat("edge %d %d %.17g\n", e.u, e.v, e.weight);
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<WorkloadSpec> FromText(const std::string& text) {
+  if (text.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        StrFormat("oversized payload: %zu bytes (limit %zu)", text.size(),
+                  kMaxPayloadBytes));
+  }
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  bool saw_end = false;
+  bool saw_type = false;
+  bool saw_nodes = false;
+  WorkloadSpec spec;
+  std::vector<Edge> pending_edges;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != "workload v1") {
+        return Status::InvalidArgument(
+            StrFormat("line %d: expected header 'workload v1'", line_no));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields.empty()) continue;
+    if (fields[0] == "type") {
+      if (fields.size() != 2 || !ParseWorkloadKind(fields[1], &spec.kind)) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: unknown workload type '%s'", line_no,
+            fields.size() > 1 ? fields[1].c_str() : ""));
+      }
+      saw_type = true;
+    } else if (fields[0] == "nodes") {
+      int n = 0;
+      if (fields.size() != 2 || !ParseInt(fields[1], &n) || n < 1 ||
+          n > kMaxNodes) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: bad node count (limit %d)", line_no, kMaxNodes));
+      }
+      spec.graph = Graph(n);
+      saw_nodes = true;
+    } else if (fields[0] == "colors") {
+      int k = 0;
+      if (fields.size() != 2 || !ParseInt(fields[1], &k) || k < 1 ||
+          k > kMaxColors) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: bad color count (limit %d)", line_no, kMaxColors));
+      }
+      spec.num_colors = k;
+    } else if (fields[0] == "optimum") {
+      double v = 0.0;
+      if (fields.size() != 2 || !ParseFiniteDouble(fields[1], &v)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: bad optimum", line_no));
+      }
+      spec.optimum = v;
+      spec.has_optimum = true;
+    } else if (fields[0] == "edge") {
+      if (!saw_nodes) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: 'edge' before 'nodes'", line_no));
+      }
+      if (fields.size() != 3 && fields.size() != 4) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: edge needs 2 endpoints and an optional weight",
+            line_no));
+      }
+      int u = 0;
+      int v = 0;
+      double w = 1.0;
+      if (!ParseInt(fields[1], &u) || !ParseInt(fields[2], &v) ||
+          (fields.size() == 4 && !ParseFiniteDouble(fields[3], &w))) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: bad edge '%s'", line_no, line.c_str()));
+      }
+      Status added = spec.graph.AddEdge(u, v, w);
+      if (!added.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: %s", line_no, added.message().c_str()));
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unknown directive '%s'", line_no,
+                    fields[0].c_str()));
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("missing 'workload v1' header");
+  }
+  if (!saw_end) return Status::InvalidArgument("missing 'end' terminator");
+  if (!saw_type) return Status::InvalidArgument("missing 'type' directive");
+  if (!saw_nodes) return Status::InvalidArgument("missing 'nodes' directive");
+  if (spec.kind == WorkloadKind::kGraphColoring) {
+    if (spec.num_colors < 1) {
+      return Status::InvalidArgument(
+          "coloring workload requires a 'colors' directive");
+    }
+    // Guard the k*n variable blow-up before formulation allocates it.
+    if (static_cast<int64_t>(spec.num_colors) * spec.graph.num_nodes() >
+        kMaxNodes) {
+      return Status::InvalidArgument(StrFormat(
+          "coloring instance needs %lld variables (limit %d)",
+          static_cast<long long>(spec.num_colors) * spec.graph.num_nodes(),
+          kMaxNodes));
+    }
+  } else if (spec.num_colors != 0) {
+    return Status::InvalidArgument(
+        StrFormat("'colors' is only valid for coloring workloads, not %s",
+                  WorkloadKindName(spec.kind)));
+  }
+  return spec;
+}
+
+Result<std::shared_ptr<Workload>> MakeWorkload(const WorkloadSpec& spec) {
+  switch (spec.kind) {
+    case WorkloadKind::kMaxClique: {
+      int known = 1;
+      if (spec.has_optimum) {
+        if (spec.optimum < 1.0 ||
+            spec.optimum > spec.graph.num_nodes() ||
+            spec.optimum != std::floor(spec.optimum)) {
+          return Status::InvalidArgument(
+              "max-clique optimum must be an integer clique size");
+        }
+        known = static_cast<int>(spec.optimum);
+      }
+      Result<std::shared_ptr<MaxCliqueWorkload>> made =
+          MaxCliqueWorkload::Create(spec.graph, known);
+      QMQO_RETURN_IF_ERROR(made.status());
+      return std::shared_ptr<Workload>(std::move(made).value());
+    }
+    case WorkloadKind::kMaxCut: {
+      Result<std::shared_ptr<MaxCutWorkload>> made = MaxCutWorkload::Create(
+          spec.graph, spec.has_optimum ? spec.optimum : 0.0);
+      QMQO_RETURN_IF_ERROR(made.status());
+      return std::shared_ptr<Workload>(std::move(made).value());
+    }
+    case WorkloadKind::kGraphColoring: {
+      Result<std::shared_ptr<ColoringWorkload>> made =
+          ColoringWorkload::Create(spec.graph, spec.num_colors);
+      QMQO_RETURN_IF_ERROR(made.status());
+      return std::shared_ptr<Workload>(std::move(made).value());
+    }
+  }
+  return Status::InvalidArgument("unknown workload kind");
+}
+
+WorkloadSpec SpecOf(const Workload& workload) {
+  WorkloadSpec spec;
+  spec.kind = workload.kind();
+  spec.graph = workload.graph();
+  spec.optimum = workload.known_optimum();
+  spec.has_optimum = true;
+  if (workload.kind() == WorkloadKind::kGraphColoring) {
+    spec.num_colors =
+        static_cast<const ColoringWorkload&>(workload).num_colors();
+  }
+  return spec;
+}
+
+}  // namespace workloads
+}  // namespace qmqo

@@ -1,0 +1,63 @@
+#ifndef QMQO_WORKLOADS_SERIALIZATION_H_
+#define QMQO_WORKLOADS_SERIALIZATION_H_
+
+/// \file serialization.h
+/// The v1 wire format for workload requests, alongside the MQO format
+/// (mqo/serialization.h) in the service's `SubmitText`. Line-oriented,
+/// comments start with '#':
+///
+///   workload v1
+///   type max_clique            # or max_cut, coloring
+///   nodes <n>
+///   colors <k>                 # coloring only
+///   optimum <value>            # optional generator-planted optimum
+///   edge <u> <v> [weight]      # one line per edge; weight defaults to 1
+///   end
+///
+/// Parsing uses the hardened numeric helpers (`ParseInt` /
+/// `ParseFiniteDouble`) and caps payload size and node count, so hostile
+/// payloads become typed `InvalidArgument` rejections, never allocations
+/// or wrong values.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workloads/workload.h"
+
+namespace qmqo {
+namespace workloads {
+
+/// A parsed (but not yet formulated) workload request.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kMaxCut;
+  Graph graph{0};
+  /// Colors for coloring workloads (0 otherwise).
+  int num_colors = 0;
+  /// Generator-planted optimum carried on the wire; NaN when absent.
+  double optimum = 0.0;
+  bool has_optimum = false;
+};
+
+/// Serializes a spec into the v1 wire format.
+std::string ToText(const WorkloadSpec& spec);
+
+/// Parses the v1 wire format. Unknown `type` tags, malformed numerics,
+/// oversized payloads, and inconsistent directives (colors outside a
+/// coloring workload, edges out of range, duplicates) are
+/// `InvalidArgument`.
+Result<WorkloadSpec> FromText(const std::string& text);
+
+/// Formulates a parsed spec into a ready-to-solve workload. Without a wire
+/// `optimum` the known optimum defaults conservatively (clique: 1, cut: 0,
+/// coloring: 0) so gap reporting stays defined.
+Result<std::shared_ptr<Workload>> MakeWorkload(const WorkloadSpec& spec);
+
+/// Serializes a formulated workload back into a spec (round-trip support).
+WorkloadSpec SpecOf(const Workload& workload);
+
+}  // namespace workloads
+}  // namespace qmqo
+
+#endif  // QMQO_WORKLOADS_SERIALIZATION_H_

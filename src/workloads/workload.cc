@@ -1,0 +1,35 @@
+#include "workloads/workload.h"
+
+namespace qmqo {
+namespace workloads {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kMaxClique:
+      return "max_clique";
+    case WorkloadKind::kMaxCut:
+      return "max_cut";
+    case WorkloadKind::kGraphColoring:
+      return "coloring";
+  }
+  return "unknown";
+}
+
+bool ParseWorkloadKind(const std::string& name, WorkloadKind* out) {
+  if (name == "max_clique") {
+    *out = WorkloadKind::kMaxClique;
+    return true;
+  }
+  if (name == "max_cut") {
+    *out = WorkloadKind::kMaxCut;
+    return true;
+  }
+  if (name == "coloring") {
+    *out = WorkloadKind::kGraphColoring;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace workloads
+}  // namespace qmqo

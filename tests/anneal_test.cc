@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "anneal/dwave_simulator.h"
 #include "anneal/gauge.h"
 #include "anneal/sample_set.h"
@@ -78,6 +80,62 @@ TEST(ScheduleTest, SuggestBetaRangeTrivialProblem) {
   auto [hot, cold] = SuggestBetaRange(empty);
   EXPECT_GT(hot, 0.0);
   EXPECT_GT(cold, hot);
+}
+
+// Regression: a near-overflow coupling used to drive beta_hot to a
+// denormal / zero, which a geometric schedule asserts on. The suggestion
+// must stay finite, positive, and ordered for any input magnitudes.
+TEST(ScheduleTest, SuggestBetaRangeExtremeMagnitudesStaysSane) {
+  qubo::IsingProblem huge(3);
+  huge.AddCoupling(0, 1, 1e308);
+  huge.AddField(2, 1e-320);  // denormal: log(100)/field overflows to inf
+  auto [hot, cold] = SuggestBetaRange(huge);
+  EXPECT_TRUE(std::isfinite(hot));
+  EXPECT_TRUE(std::isfinite(cold));
+  EXPECT_GT(hot, 0.0);
+  EXPECT_GT(cold, hot);
+}
+
+// Regression: two near-max couplings on one spin sum to inf, which used
+// to propagate through beta_hot = log(2)/inf = 0. Non-finite field sums
+// must be skipped, not poison the range.
+TEST(ScheduleTest, SuggestBetaRangeOverflowingFieldSumSkipped) {
+  qubo::IsingProblem overflow(4);
+  overflow.AddCoupling(0, 1, 1.5e308);
+  overflow.AddCoupling(0, 2, 1.5e308);  // spin 0's field sum is inf
+  overflow.AddField(3, 2.0);            // a sane spin remains
+  auto [hot, cold] = SuggestBetaRange(overflow);
+  EXPECT_TRUE(std::isfinite(hot));
+  EXPECT_TRUE(std::isfinite(cold));
+  EXPECT_GT(hot, 0.0);
+  EXPECT_GT(cold, hot);
+}
+
+// Regression: when *every* spin's field sum is non-finite there is no
+// usable signal; the suggestion must fall back to the trivial-problem
+// defaults instead of returning NaN/inf or an inverted pair.
+TEST(ScheduleTest, SuggestBetaRangeAllNonFiniteFallsBack) {
+  qubo::IsingProblem bad(2);
+  bad.AddCoupling(0, 1, 1.5e308);
+  bad.AddCoupling(0, 1, 1.5e308);  // J_01 itself overflows to inf
+  auto [hot, cold] = SuggestBetaRange(bad);
+  EXPECT_TRUE(std::isfinite(hot));
+  EXPECT_TRUE(std::isfinite(cold));
+  EXPECT_GT(hot, 0.0);
+  EXPECT_GT(cold, hot);
+}
+
+// The sanitization must not perturb ordinary problems: the clamp band is
+// far outside anything a sane instance produces, so values match the
+// unclamped arithmetic exactly (golden fixtures flow through this path).
+TEST(ScheduleTest, SuggestBetaRangeNormalValuesUnchangedByClamping) {
+  qubo::IsingProblem plain(2);
+  plain.AddField(0, 2.0);
+  plain.AddCoupling(0, 1, 1.0);
+  auto [hot, cold] = SuggestBetaRange(plain);
+  // Spin 0: |2.0| + |1.0| = 3.0 (max); spin 1: |1.0| (min).
+  EXPECT_DOUBLE_EQ(hot, std::log(2.0) / 3.0);
+  EXPECT_DOUBLE_EQ(cold, std::log(100.0) / 1.0);
 }
 
 // --------------------------------------------------------------------

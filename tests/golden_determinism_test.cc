@@ -27,7 +27,12 @@
 #include "anneal/sample_set.h"
 #include "anneal/simulated_annealer.h"
 #include "anneal/sqa.h"
+#include "harness/resilient_solver.h"
 #include "util/rng.h"
+#include "workloads/coloring.h"
+#include "workloads/max_clique.h"
+#include "workloads/max_cut.h"
+#include "workloads/workload.h"
 
 #ifndef QMQO_GOLDEN_DIR
 #define QMQO_GOLDEN_DIR "tests/golden"
@@ -225,6 +230,94 @@ TEST(GoldenDeterminismTest, CappedSaSnapshot) {
     }
   }
   CheckGolden("sa_capped_scalar", reference);
+}
+
+/// One fixed instance per workload kind, solved through the resilient
+/// ladder's bare-QUBO path (`SolveQubo`: SQA answers, device rung gated,
+/// deterministic descent refinement). The snapshot freezes the winning
+/// assignment bits, the energy's IEEE-754 pattern, and the decoded domain
+/// labels — asserted byte-stable at 1/2/4 threads and against the
+/// committed fixture. Fixed seeds, NOT QMQO_CHAOS_SEED: goldens are
+/// committed files, chaos variation lives in workloads_test.
+TEST(GoldenDeterminismTest, WorkloadSolveSnapshots) {
+  struct Fixture {
+    std::string name;
+    std::shared_ptr<workloads::Workload> workload;
+  };
+  std::vector<Fixture> fixtures;
+  {
+    auto clique = workloads::MaxCliqueWorkload::MakePlanted(
+        /*num_nodes=*/20, /*clique_size=*/5, /*edge_prob=*/0.35,
+        /*seed=*/20260801);
+    ASSERT_TRUE(clique.ok()) << clique.status().ToString();
+    fixtures.push_back({"workload_max_clique", *clique});
+    auto cut_instance =
+        workloads::PlantedCutGraph(/*num_nodes=*/18, /*edge_prob=*/0.45,
+                                   /*max_weight=*/3.0, /*seed=*/20260802);
+    ASSERT_TRUE(cut_instance.ok());
+    auto cut = workloads::MaxCutWorkload::Create(
+        cut_instance->graph, cut_instance->graph.total_weight());
+    ASSERT_TRUE(cut.ok());
+    fixtures.push_back({"workload_max_cut", *cut});
+    auto coloring = workloads::ColoringWorkload::MakePlanted(
+        /*num_nodes=*/15, /*num_colors=*/3, /*edge_prob=*/0.4,
+        /*seed=*/20260803);
+    ASSERT_TRUE(coloring.ok());
+    fixtures.push_back({"workload_coloring", *coloring});
+  }
+  harness::SolvePolicy policy;
+  policy.seed = 20260804;
+  policy.max_attempts_per_backend = 1;
+  policy.sqa_reads = 8;
+  policy.sqa_slices = 6;
+  policy.sqa_sweeps = 64;
+  policy.sa_reads = 16;
+  policy.sa_sweeps = 128;
+  harness::ResilientSolver solver(policy);
+  for (const Fixture& fixture : fixtures) {
+    std::string reference;
+    for (int threads : kThreadCounts) {
+      harness::QuantumMqoOptions options;
+      options.device.num_threads = threads;
+      harness::SolveReport report =
+          solver.SolveQubo(fixture.workload->qubo(), options);
+      ASSERT_TRUE(report.ok) << fixture.name << ": "
+                             << report.FailureChain();
+      const workloads::WorkloadSolution decoded =
+          fixture.workload->Decode(report.qubo_assignment);
+      uint64_t energy_bits;
+      static_assert(sizeof(energy_bits) == sizeof(report.qubo_energy), "");
+      std::memcpy(&energy_bits, &report.qubo_energy, sizeof(energy_bits));
+      char energy_text[64];
+      std::snprintf(energy_text, sizeof(energy_text), "%.17g",
+                    report.qubo_energy);
+      std::ostringstream out;
+      out << "{\n";
+      out << "  \"workload\": \"" << fixture.name << "\",\n";
+      out << "  \"backend\": \""
+          << harness::SolveBackendName(report.backend) << "\",\n";
+      out << "  \"energy_hex\": \"" << HexU64(energy_bits) << "\",\n";
+      out << "  \"energy\": \"" << energy_text << "\",\n";
+      out << "  \"objective\": " << decoded.objective << ",\n";
+      out << "  \"feasible\": " << (decoded.feasible ? "true" : "false")
+          << ",\n";
+      out << "  \"assignment\": \"";
+      for (uint8_t bit : report.qubo_assignment) out << (bit ? '1' : '0');
+      out << "\",\n  \"labels\": [";
+      for (size_t i = 0; i < decoded.labels.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << decoded.labels[i];
+      }
+      out << "]\n}\n";
+      if (threads == 1) {
+        reference = out.str();
+      } else {
+        EXPECT_EQ(out.str(), reference)
+            << fixture.name << " at " << threads
+            << " threads diverged from serial";
+      }
+    }
+    CheckGolden(fixture.name, reference);
+  }
 }
 
 }  // namespace
